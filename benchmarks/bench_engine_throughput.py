@@ -1,0 +1,84 @@
+"""PERF: simulation-substrate throughput.
+
+Not a paper figure -- this measures the repository's own substrates so
+regressions in the vectorized round engine or the DES kernel are
+caught.  Unlike the figure benches (one-shot experiments), these are
+honest repeated-timing benchmarks.
+
+Reference points: the paper's experiments need 100,000-host groups over
+thousands of periods (Figures 5-7, 11-12); the round engine sustains
+that on a laptop.
+"""
+
+import pytest
+
+from bench_util import scaled
+
+from repro.odes import library
+from repro.protocols.endemic import EndemicParams, figure1_protocol
+from repro.runtime import AgentSimulation, Environment, RoundEngine
+from repro.synthesis import synthesize
+
+
+@pytest.fixture(scope="module")
+def endemic_engine_100k():
+    params = EndemicParams(alpha=1e-6, gamma=1e-3, b=2)
+    n = scaled(100_000, minimum=10_000)
+    engine = RoundEngine(
+        figure1_protocol(params), n=n,
+        initial=params.equilibrium_counts(n), seed=240,
+    )
+    engine.run(50)  # settle
+    return engine
+
+
+@pytest.fixture(scope="module")
+def lv_engine_100k():
+    n = scaled(100_000, minimum=10_000)
+    spec = synthesize(library.lv(), p=0.01)
+    engine = RoundEngine(
+        spec, n=n,
+        initial={"x": n // 2, "y": n // 4, "z": n - n // 2 - n // 4},
+        seed=241,
+    )
+    engine.run(10)
+    return engine
+
+
+def test_round_engine_endemic_period(benchmark, endemic_engine_100k):
+    """One protocol period, endemic at N=100,000 (sparse activity)."""
+    benchmark(endemic_engine_100k.step)
+
+
+def test_round_engine_lv_period(benchmark, lv_engine_100k):
+    """One protocol period, LV at N=100,000 (all states active)."""
+    benchmark(lv_engine_100k.step)
+
+
+def test_agent_sim_period(benchmark):
+    """One nominal period of the DES agent engine at N=1,000."""
+    spec = synthesize(library.sis(beta=0.6, gamma=0.2))
+    sim = AgentSimulation(
+        spec, n=scaled(1_000, minimum=300),
+        initial={"s": 0.7, "i": 0.3}, seed=242,
+    )
+    sim.run(5)  # warm the event queue
+
+    def one_period():
+        sim.env.run(until=sim.env.now + sim.period)
+
+    benchmark(one_period)
+
+
+def test_des_kernel_event_dispatch(benchmark):
+    """Raw kernel throughput: schedule+dispatch of 10,000 events."""
+
+    def dispatch_batch():
+        env = Environment()
+        sink = []
+        for i in range(10_000):
+            env.schedule(i * 0.001, lambda: sink.append(None))
+        env.run()
+        return len(sink)
+
+    assert benchmark(dispatch_batch) == 10_000

@@ -1,0 +1,75 @@
+"""EPID: the motivating example -- pull epidemic spreads in O(log N).
+
+Paper, Section 1: the canonical pull epidemic synthesized from
+equation (0) reaches x ~= O(1) susceptibles in O(log N) rounds.  We
+sweep group sizes over three orders of magnitude and check the measured
+rounds grow linearly in log N with the mean-field constant
+(2 ln(N) for the pull variant).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from bench_util import format_table, report, scaled
+
+from repro.protocols.epidemic import (
+    measure_spread,
+    pull_protocol,
+    push_pull_protocol,
+    theoretical_rounds,
+)
+
+SIZES = (1_000, 4_000, 16_000, 64_000)
+
+
+def run_sweep():
+    pull = pull_protocol()
+    push_pull = push_pull_protocol()
+    results = []
+    for size in SIZES:
+        n = scaled(size, minimum=500)
+        pull_rounds = [
+            measure_spread(pull, n=n, seed=130 + trial).rounds_to_threshold
+            for trial in range(3)
+        ]
+        both_rounds = measure_spread(push_pull, n=n, seed=140).rounds_to_threshold
+        results.append((n, pull_rounds, both_rounds))
+    return results
+
+
+def test_epidemic_motivating(run_once):
+    results = run_once(run_sweep)
+
+    rows = []
+    for n, pull_rounds, both_rounds in results:
+        rows.append((
+            n,
+            f"{np.mean(pull_rounds):.1f}",
+            f"{theoretical_rounds(n):.1f}",
+            both_rounds,
+        ))
+    report("epidemic_motivating", "\n".join([
+        "pull epidemic: rounds until <= 1 susceptible (3 trials/size)",
+        "paper shape: O(log N) rounds",
+        "",
+        format_table(
+            ["N", "measured rounds (pull)", "theory 2 ln N",
+             "push-pull rounds"],
+            rows,
+        ),
+    ]))
+
+    measured = [float(np.mean(r)) for _, r, _ in results]
+    ns = [n for n, _, _ in results]
+    # Log-linear shape: each 4x size increase costs a bounded constant.
+    increments = [b - a for a, b in zip(measured, measured[1:])]
+    for increment in increments:
+        assert 0 <= increment <= 8
+    # Absolute agreement with the mean-field constant within 35%.
+    for n, mean_rounds in zip(ns, measured):
+        assert mean_rounds == pytest.approx(theoretical_rounds(n), rel=0.35)
+    # Push-pull at least as fast as pull.
+    for n, pull_rounds, both_rounds in results:
+        assert both_rounds <= np.mean(pull_rounds) + 2

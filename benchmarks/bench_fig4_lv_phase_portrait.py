@@ -1,0 +1,87 @@
+"""FIG4: phase portrait of the LV protocol (bistable competition).
+
+Paper: Figure 4 -- N=1000, seven initial points.  All starts with
+x > y converge to (1000, 0), all with x < y to (0, 1000); the x = y
+start moves toward (333.3, 333.3, 333.3) (the saddle).  Reproduced as
+the mean-field portrait plus a simulated overlay: in the finite-N
+simulation the x = y start cannot stay on the saddle -- randomization
+pushes it to one of the two stable corners (as the paper notes).
+"""
+
+import numpy as np
+import pytest
+
+from bench_util import format_table, report, scaled
+
+from repro.odes import library
+from repro.odes.phase import FIGURE4_STARTS, phase_portrait
+from repro.protocols.lv import lv_protocol
+from repro.runtime import RoundEngine
+from repro.viz.ascii_plot import render
+
+N = 1000
+
+
+def run_portrait():
+    system = library.lv()
+    portrait = phase_portrait(
+        system, FIGURE4_STARTS, t_end=30.0, scale=N, normalize_counts=True,
+    )
+    spec = lv_protocol(p=0.01)
+    simulated_ends = []
+    periods = scaled(6000, minimum=1500)
+    for index, start in enumerate(FIGURE4_STARTS):
+        engine = RoundEngine(spec, n=N, initial=dict(start), seed=40 + index)
+        engine.run(periods)
+        simulated_ends.append(engine.counts())
+    return portrait, simulated_ends
+
+
+def test_fig4_lv_phase_portrait(run_once):
+    portrait, simulated_ends = run_once(run_portrait)
+
+    rows = []
+    for start, end, sim in zip(
+        portrait.start_points(), portrait.endpoints(), simulated_ends
+    ):
+        rows.append((
+            f"({start['x']:.0f},{start['y']:.0f},{start['z']:.0f})",
+            f"({end['x']:.1f},{end['y']:.1f},{end['z']:.1f})",
+            f"({sim['x']},{sim['y']},{sim['z']})",
+        ))
+    table = format_table(
+        ["start (X,Y,Z)", "ODE endpoint", "simulated endpoint"], rows
+    )
+    curves = {
+        f"start{i}": (xs, ys)
+        for i, (xs, ys) in enumerate(portrait.projected("x", "y"))
+    }
+    plot = render(
+        curves, width=70, height=22,
+        title="Figure 4: LV phase portrait (Num. X vs Num. Y)",
+        x_range=(0, 1000), y_range=(0, 1000),
+    )
+    report("fig4_lv_phase_portrait", "\n".join([
+        f"parameters: N={N}, p=0.01, rate=3",
+        "",
+        table,
+        "",
+        plot,
+    ]))
+
+    # Theorem 4 shape: side of the x = y diagonal decides the winner.
+    for start, end, sim in zip(
+        portrait.start_points(), portrait.endpoints(), simulated_ends
+    ):
+        if start["x"] > start["y"]:
+            assert end["x"] == pytest.approx(1000.0, rel=1e-3)
+            assert sim["x"] == N  # simulation agrees
+        elif start["x"] < start["y"]:
+            assert end["y"] == pytest.approx(1000.0, rel=1e-3)
+            assert sim["y"] == N
+        else:
+            # ODE: toward the saddle at (333.3, 333.3).
+            assert end["x"] == pytest.approx(1000 / 3, rel=0.02)
+            assert end["y"] == pytest.approx(1000 / 3, rel=0.02)
+            # Finite N: randomization must break the tie eventually.
+            assert sim["x"] == N or sim["y"] == N

@@ -1,0 +1,93 @@
+"""ABLATE-2: open groups (the paper's §5.2 self-stabilization claim).
+
+The system model assumes a closed group, but the paper states that
+"simulations show that our protocols work in open groups" and that the
+LV protocol "proactively continues to converge back to an equilibrium
+point in spite of dynamic changes (e.g., new processes)".  This bench
+runs both case studies while new processes continuously join:
+
+* LV: a 60/40 vote in a group that grows by a third mid-run (joiners
+  undecided) still converges to the initial majority;
+* endemic: a group that doubles absorbs the joiners and settles at the
+  grown group's equilibrium.
+"""
+
+import numpy as np
+import pytest
+
+from bench_util import format_table, report, scaled
+
+from repro.protocols.endemic import EndemicParams, figure1_protocol
+from repro.protocols.lv import LVMajority
+from repro.runtime import OpenGroupJoins, RoundEngine
+
+PARAMS = EndemicParams(alpha=0.01, gamma=0.1, b=2)
+
+
+def run_experiments():
+    # LV with joins.
+    n = scaled(30_000, minimum=4_000)
+    members = int(n * 0.75)
+    zeros, ones = int(members * 0.6), members - int(members * 0.6)
+    instance = LVMajority(
+        n, zeros=zeros, ones=ones, undecided=n - members, seed=220
+    )
+    reserve = np.arange(members, n)
+    instance.engine.crash(reserve)
+    instance.engine.set_states(reserve, "z")
+    lv_joins = OpenGroupJoins(reserve=reserve, join_rate=0.01, state="z", seed=221)
+    closed = LVMajority(members, zeros=zeros, ones=ones, seed=220)
+    closed_outcome = closed.run(scaled(4_000, minimum=2_000))
+    open_outcome = instance.run(scaled(4_000, minimum=2_000), hooks=(lv_joins,))
+
+    # Endemic with a doubling population.
+    n2 = scaled(4_000, minimum=1_000)
+    members2 = n2 // 2
+    spec = figure1_protocol(PARAMS)
+    initial = dict(PARAMS.equilibrium_counts(members2))
+    initial["x"] += n2 - members2
+    engine = RoundEngine(spec, n=n2, initial=initial, seed=222)
+    reserve2 = np.arange(members2, n2)
+    engine.crash(reserve2)
+    joins2 = OpenGroupJoins(reserve=reserve2, join_rate=0.01, seed=223)
+    result = engine.run(scaled(1_200, minimum=600), hooks=[joins2])
+    stash_mean = result.recorder.window("y", scaled(900, minimum=450)).mean
+
+    return {
+        "n": n, "members": members,
+        "closed": closed_outcome, "open": open_outcome,
+        "lv_joined": lv_joins.joined,
+        "n2": n2, "stash_mean": stash_mean,
+        "endemic_joined": joins2.joined,
+    }
+
+
+def test_open_group(run_once):
+    data = run_once(run_experiments)
+    closed, opened = data["closed"], data["open"]
+
+    expected_full = PARAMS.equilibrium_counts(data["n2"])["y"]
+    report("open_group", "\n".join([
+        "LV majority with continuous joins "
+        f"(N {data['members']} -> {data['members'] + data['lv_joined']}):",
+        format_table(
+            ["run", "winner", "full agreement at"],
+            [
+                ("closed group", closed.winner, closed.convergence_period),
+                (f"open group (+{data['lv_joined']} joiners)",
+                 opened.winner, opened.convergence_period),
+            ],
+        ),
+        "",
+        f"endemic with a doubling population (N {data['n2'] // 2} -> "
+        f"{data['n2'] // 2 + data['endemic_joined']}):",
+        f"  stash mean after growth: {data['stash_mean']:.1f} "
+        f"(full-group equilibrium {expected_full:.1f})",
+    ]))
+
+    # The open-group vote still selects the initial majority.
+    assert opened.winner == "x"
+    assert data["lv_joined"] > 0
+    # The endemic population absorbs the joiners and re-settles at the
+    # grown group's equilibrium.
+    assert data["stash_mean"] == pytest.approx(expected_full, rel=0.35)

@@ -1,0 +1,81 @@
+"""REAL: the Section 5.1 "Reality Check" cost table.
+
+Paper: in a 100,000-host system (b=2, alpha=1e-6, gamma=1e-3, 6-minute
+periods, 88.2 KB mean file size): ~100 stashers, each host stores the
+file for ~1000 periods (~100 hours) at a stretch, roughly once every
+4166 hours, at a steady-state bandwidth of 3.92e-3 bps per file per
+host.
+
+The closed-form row is checked exactly against the paper; a live
+MigratoryFileStore run at reduced scale validates that the *measured*
+transfer bandwidth matches the closed form.
+"""
+
+import numpy as np
+import pytest
+
+from bench_util import format_table, report, scaled
+
+from repro.analysis.safety import RealityCheck
+from repro.protocols.endemic import EndemicParams
+from repro.store import MigratoryFileStore
+
+PAPER = EndemicParams(alpha=1e-6, gamma=1e-3, b=2)
+
+
+def run_measured():
+    """A live store run with the same gamma/y_inf ratio at small N."""
+    n = scaled(2_000, minimum=800)
+    params = EndemicParams(alpha=0.01, gamma=0.1, b=2)
+    store = MigratoryFileStore(n=n, params=params, seed=160)
+    store.insert("object.bin", size_bytes=88.2e3)
+    store.tick(scaled(800, minimum=300))
+    measured_bw = store.bandwidth_bps_per_host("object.bin", window_periods=400)
+    predicted_bw = RealityCheck.of(params, n).bandwidth_bps_per_host
+    replicas = store.replica_count("object.bin")
+    return n, params, measured_bw, predicted_bw, replicas
+
+
+def test_reality_check(run_once):
+    n, live_params, measured_bw, predicted_bw, replicas = run_once(run_measured)
+
+    check = RealityCheck.of(PAPER, 100_000)
+    paper_rows = [
+        ("equilibrium stashers", f"{check.stashers:.1f}", "~100"),
+        ("store fraction per host", f"{check.store_fraction:.4f}", "0.001"),
+        ("store stint", f"{check.mean_store_periods:.0f} periods "
+         f"({check.mean_store_periods * 6 / 60:.0f} h)", "1000 periods (100 h)"),
+        ("storage cycle (stint-to-stint)",
+         f"{check.periods_between_stints:.3g} periods "
+         f"({check.periods_between_stints * 6 / 60 / 24:.0f} days)",
+         "100,000 h = 4166 days (paper prints '4166 hours'; "
+         "0.1% duty x 100 h stints gives 4166 days)"),
+        ("bandwidth / file / host",
+         f"{check.bandwidth_bps_per_host:.3g} bps", "3.92e-3 bps"),
+    ]
+    report("reality_check", "\n".join([
+        "closed form at paper scale (N=100,000, b=2, alpha=1e-6, "
+        "gamma=1e-3, 88.2 KB files, 6-minute periods):",
+        format_table(["quantity", "computed", "paper"], paper_rows),
+        "",
+        f"live store measurement (N={n}, alpha={live_params.alpha}, "
+        f"gamma={live_params.gamma}):",
+        format_table(
+            ["quantity", "measured", "closed form"],
+            [
+                ("bandwidth / file / host", f"{measured_bw:.3g} bps",
+                 f"{predicted_bw:.3g} bps"),
+                ("replica count", replicas,
+                 f"{live_params.equilibrium_counts(n)['y']:.1f}"),
+            ],
+        ),
+    ]))
+
+    # Exact paper numbers from the closed form.
+    assert check.bandwidth_bps_per_host == pytest.approx(3.92e-3, rel=0.02)
+    assert check.stashers == pytest.approx(100.0, rel=0.01)
+    assert check.mean_store_periods == pytest.approx(1000.0)
+    # Cycle = (N / stashers) * stint = ~1.0e6 periods = ~100,000 hours.
+    assert check.periods_between_stints * 6 / 60 == pytest.approx(1.0e5, rel=0.02)
+    # Live measurement tracks the closed form.
+    assert measured_bw == pytest.approx(predicted_bw, rel=0.35)

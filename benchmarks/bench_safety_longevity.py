@@ -1,0 +1,100 @@
+"""SAFE: probabilistic safety -- expected replica longevity.
+
+Paper, Section 4.1.3: at equilibrium each stasher reproduces at the
+same rate it dies, so all y_inf stashers die childless with probability
+(1/2)^{y_inf}.  Headline numbers: 50 replicas among N=1024 hosts with
+6-minute periods -> 1.28e10 years expected object lifetime; 100
+replicas among 2^20 hosts -> 1.45e25 years.
+
+The closed-form rows are checked exactly; the *shape* of the law
+(each extra replica roughly halves the extinction probability) is
+validated empirically at miniature scale, where extinction is actually
+observable.
+"""
+
+import numpy as np
+import pytest
+
+from bench_util import format_table, report, scaled
+
+from repro.analysis.safety import (
+    LongevityEstimate,
+    extinction_probability,
+    measure_extinction,
+    replicas_for_extinction_probability,
+)
+from repro.protocols.endemic import EndemicParams, alpha_for_target_stashers
+
+PAPER_ROWS = ((1024, 50, 1.28e10), (2**20, 100, 1.45e25))
+
+
+def run_empirical():
+    """Extinction frequencies for 4 / 10 / 16 equilibrium stashers.
+
+    With gamma = 0.25 a stash generation is ~4 periods, so a
+    300-period horizon spans ~75 generations; the per-generation
+    extinction chance (1/2)^y then predicts near-certain extinction at
+    y=4, occasional at y=10 and essentially none at y=16 -- a visible
+    gradient within a bench-sized budget.
+    """
+    n = scaled(300, minimum=150)
+    gamma = 0.25
+    horizon = scaled(300, minimum=150)
+    trials = 24
+    out = []
+    for target in (4.0, 10.0, 16.0):
+        params = EndemicParams(
+            alpha=alpha_for_target_stashers(n, target, gamma, 2),
+            gamma=gamma, b=2,
+        )
+        trial = measure_extinction(
+            params, n=n, trials=trials, horizon_periods=horizon, seed=150
+        )
+        out.append((target, trial))
+    return out
+
+
+def test_safety_longevity(run_once):
+    empirical = run_once(run_empirical)
+
+    closed_rows = []
+    for n, replicas, paper_years in PAPER_ROWS:
+        estimate = LongevityEstimate.of(n, replicas)
+        closed_rows.append((
+            n, replicas, f"{estimate.extinction_probability:.3g}",
+            f"{estimate.expected_years:.3g}", f"{paper_years:.3g}",
+        ))
+        assert estimate.expected_years == pytest.approx(paper_years, rel=0.01)
+
+    # y_inf = c log2 N  ->  extinction probability N^-c.
+    y = replicas_for_extinction_probability(1024, c=5.0)
+    assert extinction_probability(y) == pytest.approx(1024**-5.0)
+
+    empirical_rows = [
+        (f"{target:.0f}", trial.extinctions, trial.trials,
+         f"{trial.probability:.2f}")
+        for target, trial in empirical
+    ]
+    report("safety_longevity", "\n".join([
+        "closed-form longevity (6-minute periods):",
+        format_table(
+            ["N", "replicas", "P(extinct)/generation", "expected years",
+             "paper"],
+            closed_rows,
+        ),
+        "",
+        "empirical extinction at miniature scale "
+        "(N~300, gamma=0.25, horizon ~600 periods):",
+        format_table(
+            ["equilibrium stashers", "extinctions", "trials", "frequency"],
+            empirical_rows,
+        ),
+        "",
+        "shape: each extra equilibrium replica suppresses extinction",
+    ]))
+
+    # Shape: extinction frequency non-increasing in the replica budget,
+    # with a real gap between the smallest and largest budget.
+    freqs = [trial.probability for _, trial in empirical]
+    assert freqs[0] >= freqs[1] >= freqs[2]
+    assert freqs[0] > freqs[2]

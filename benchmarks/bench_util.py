@@ -1,0 +1,50 @@
+"""Shared helpers for benchmark harnesses (tables, reports, scaling)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Global scale factor for group sizes / horizons.
+
+    Set ``REPRO_BENCH_SCALE`` in (0, 1] to shrink the experiments for a
+    quick pass; 1.0 (default) reproduces the paper-scale runs.
+    """
+    value = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    if not 0.0 < value <= 1.0:
+        raise ValueError(f"REPRO_BENCH_SCALE must lie in (0, 1], got {value}")
+    return value
+
+
+def scaled(quantity: float, minimum: int = 1) -> int:
+    """Scale an N/periods quantity by the global bench scale."""
+    return max(minimum, int(round(quantity * bench_scale())))
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Plain-text aligned table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def report(name: str, text: str) -> None:
+    """Print a bench report and persist it under benchmarks/results/."""
+    banner = f"\n=== {name} ===\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,27 @@
+"""Benchmark fixtures.
+
+Every bench regenerates one paper artifact (figure or in-text table),
+prints the paper-vs-measured comparison, saves it under
+``benchmarks/results/`` and asserts the qualitative *shape* the paper
+reports (who wins, by what factor, where crossovers fall) -- absolute
+wall-clock numbers are environment-dependent and not asserted.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    The experiments are multi-second simulations; statistical timing
+    repetition would multiply runtimes for no insight.
+    """
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs,
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+
+    return runner

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Designing your own protocol from equations you wrote.
+
+The framework's promise is that *any* suitable equation system can be
+turned into a protocol.  This demo does it three times, with systems
+that are not in the paper:
+
+1. a SIRS rumor model written as text, mapped directly;
+2. the raw Lotka-Volterra competition equations (6), which need the
+   full Section 7 rewriting pipeline (completion + degree raising)
+   before they map -- the library does it automatically;
+3. a system with a term that has no factor of its own variable, forcing
+   the Section 6 Tokenizing technique, run both with oracle routing and
+   with TTL random-walk routing to show the TTL approximation error.
+
+Run:  python examples/custom_equations.py
+"""
+
+import numpy as np
+
+from repro.analysis.mean_field import compare_trajectory
+from repro.odes import auto_rewrite, classify, library, parse_system
+from repro.runtime import RoundEngine
+from repro.synthesis import synthesize
+
+
+def sirs_rumor() -> None:
+    print("=" * 70)
+    print("1. SIRS rumor model (direct mapping)")
+    system = parse_system(
+        """
+        s' = -0.6*s*i + 0.05*r     # hear the rumor; forget immunity
+        i' =  0.6*s*i - 0.2*i      # spread; lose interest
+        r' =  0.2*i   - 0.05*r
+        """,
+        name="sirs-rumor",
+    )
+    print(classify(system).render())
+    protocol = synthesize(system)
+    print(protocol.render())
+    n = 20_000
+    engine = RoundEngine(protocol, n=n, initial={"s": n - 100, "i": 100, "r": 0},
+                         seed=11)
+    engine.run(protocol.periods_for_time(200.0))
+    counts = engine.counts()
+    print(f"simulated equilibrium: {counts}")
+    from repro.odes import find_equilibria
+    stable = [e for e in find_equilibria(system) if e.is_stable]
+    print(f"analytic equilibrium:  "
+          f"{ {k: round(v * n) for k, v in stable[0].point.items()} }")
+    print()
+
+
+def raw_lotka_volterra() -> None:
+    print("=" * 70)
+    print("2. raw LV competition (rewriting pipeline)")
+    raw = parse_system(
+        "x' = 3*x - 3*x^2 - 6*x*y\n"
+        "y' = 3*y - 3*y^2 - 6*x*y",
+        name="lv-raw",
+    )
+    print("before rewriting:", classify(raw).mapping_technique)
+    mappable = auto_rewrite(raw)
+    print("after auto_rewrite:")
+    print(mappable.render())
+    print("matches the paper's equation (7):",
+          mappable.equivalent_to(library.lv()))
+    protocol = synthesize(mappable, p=0.01)
+    n = 10_000
+    engine = RoundEngine(protocol, n=n, initial={"x": 5600, "y": 4400, "z": 0},
+                         seed=12)
+    engine.run(1500)
+    print(f"56/44 vote at N={n}: final {engine.counts()}")
+    print()
+
+
+def tokenizing_demo() -> None:
+    print("=" * 70)
+    print("3. Tokenizing (Section 6), oracle vs TTL random walk")
+    system = parse_system(
+        """
+        x' = -0.3*x + 0.4*x*y
+        y' =  0.3*x - 0.5*y
+        z' =  0.5*y - 0.4*x*y     # -0.4xy has no factor of z: tokens!
+        """,
+        name="token-demo",
+    )
+    print(classify(system).render())
+    for label, ttl in (("membership oracle", None), ("TTL=3 random walk", 3)):
+        protocol = synthesize(system, token_ttl=ttl)
+        comparison = compare_trajectory(
+            protocol, n=30_000,
+            initial_counts={"x": 15_000, "y": 7_500, "z": 7_500},
+            periods=120, seed=13, reference="discrete",
+        )
+        print(f"  {label}: worst RMS fraction error vs mean field = "
+              f"{comparison.worst_rms_fraction_error():.4f}")
+    print("  (the TTL walk drops tokens that fail to find a target, so")
+    print("   its dynamics deviate from the source equations -- exactly")
+    print("   the limitation Section 6 discusses)")
+
+
+def main() -> None:
+    sirs_rumor()
+    raw_lotka_volterra()
+    tokenizing_demo()
+
+
+if __name__ == "__main__":
+    main()

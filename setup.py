@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`)
+on environments without the `wheel` package (PEP 660 requires it)."""
+from setuptools import setup
+
+setup()

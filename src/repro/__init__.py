@@ -1,0 +1,49 @@
+"""repro: distributed protocols synthesized from differential equations.
+
+A production-quality reproduction of Indranil Gupta, "On the Design of
+Distributed Protocols from Differential Equations", PODC 2004.
+
+The library is organized in layers:
+
+* :mod:`repro.odes` -- equation systems, taxonomy, rewriting, mean-field
+  integration and stability analysis.
+* :mod:`repro.synthesis` -- the equation-to-protocol mapper (Flipping,
+  One-Time-Sampling, Tokenizing) and protocol specifications.
+* :mod:`repro.runtime` -- simulation substrates: a discrete-event kernel
+  with per-process agents, and a vectorized synchronous round engine for
+  100,000-host experiments; failures, churn, metrics.
+* :mod:`repro.protocols` -- the paper's case studies: epidemic spread,
+  endemic migratory replication, LV majority selection, plus baselines.
+* :mod:`repro.analysis` -- perturbation analysis, stability and
+  convergence complexity, probabilistic safety, fairness metrics.
+* :mod:`repro.store` -- example applications: a migratory replicated
+  file store and a majority-vote service.
+
+Quickstart::
+
+    from repro.odes import library
+    from repro.synthesis import synthesize
+    from repro.runtime import RoundEngine
+
+    system = library.epidemic()          # x' = -x*y ; y' = x*y
+    protocol = synthesize(system)        # the canonical pull epidemic
+    engine = RoundEngine(protocol, n=10_000, seed=7,
+                         initial={"x": 9_999, "y": 1})
+    result = engine.run(periods=40)
+    print(result.final_counts())         # epidemic has taken over
+"""
+
+from . import analysis, odes, protocols, runtime, store, synthesis, viz
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "odes",
+    "synthesis",
+    "runtime",
+    "protocols",
+    "analysis",
+    "store",
+    "viz",
+    "__version__",
+]

@@ -1,0 +1,222 @@
+"""Command-line interface: classify, synthesize and simulate equations.
+
+Usage::
+
+    python -m repro classify  equations.txt [--param beta=4 ...]
+    python -m repro synthesize equations.txt [--param ...] [--p 0.01]
+                               [--failure-rate 0.1] [--no-rewrite]
+    python -m repro simulate  equations.txt --n 10000 --periods 200
+                               [--initial x=9999 --initial y=1]
+                               [--seed 42] [--plot]
+
+``equations.txt`` holds one equation per line, e.g.::
+
+    x' = -beta*x*y + alpha*z
+    y' =  beta*x*y - gamma*y
+    z' =  gamma*y  - alpha*z
+
+Symbols that are not variables must be bound with ``--param``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .odes import auto_rewrite, classify, find_equilibria, integrate, parse_system
+from .runtime import MetricsRecorder, RoundEngine
+from .synthesis import SynthesisError, synthesize
+from .viz import render_series
+
+
+def _parse_bindings(pairs: List[str], kind: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--{kind} expects name=value, got {pair!r}")
+        name, _, value = pair.partition("=")
+        try:
+            out[name.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(f"--{kind} {name}: {value!r} is not a number")
+    return out
+
+
+def _load_system(args) -> "EquationSystem":
+    text = Path(args.equations).read_text()
+    system = parse_system(
+        text,
+        parameters=_parse_bindings(args.param, "param"),
+        name=Path(args.equations).stem,
+    )
+    return system
+
+
+def cmd_classify(args) -> int:
+    system = _load_system(args)
+    print(system.render())
+    print()
+    print(classify(system).render())
+    return 0
+
+
+def cmd_synthesize(args) -> int:
+    system = _load_system(args)
+    if not args.no_rewrite and not classify(system).mappable:
+        print("# system not directly mappable; applying auto_rewrite "
+              "(Section 7)", file=sys.stderr)
+        system = auto_rewrite(system)
+        print(system.render())
+        print()
+    try:
+        spec = synthesize(
+            system,
+            p=args.p,
+            failure_rate=args.failure_rate,
+            tokenize=not args.no_tokenize,
+        )
+    except SynthesisError as exc:
+        print(f"synthesis failed: {exc}", file=sys.stderr)
+        return 1
+    print(spec.render())
+    print()
+    print(f"message complexity: {spec.message_complexity()}")
+    print(f"one period = {spec.time_scale:g} time units of the equations")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    system = _load_system(args)
+    if not classify(system).mappable:
+        system = auto_rewrite(system)
+    try:
+        spec = synthesize(system, p=args.p, failure_rate=args.failure_rate)
+    except SynthesisError as exc:
+        print(f"synthesis failed: {exc}", file=sys.stderr)
+        return 1
+    initial = _parse_bindings(args.initial, "initial")
+    if not initial:
+        # Default: everyone in the first state, one process in the second.
+        first, second = spec.states[0], spec.states[1]
+        initial = {first: args.n - 1, second: 1}
+    engine = RoundEngine(
+        spec, n=args.n, initial=initial, seed=args.seed,
+        connection_failure_rate=args.failure_rate,
+    )
+    recorder = MetricsRecorder(spec.states, stride=max(1, args.periods // 200))
+    engine.run(args.periods, recorder=recorder)
+    counts = engine.counts()
+    print(f"after {args.periods} periods "
+          f"(= {spec.time_for_periods(args.periods):g} time units):")
+    for state in spec.states:
+        print(f"  {state}: {counts[state]}")
+    if args.plot:
+        print()
+        print(render_series(
+            recorder.times,
+            {s: recorder.counts(s) for s in spec.states},
+            width=70, height=16,
+            title=f"{spec.name} (N={args.n})",
+        ))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Equilibria, stability and (optionally) a trajectory preview."""
+    system = _load_system(args)
+    print(system.render())
+    print()
+    equilibria = find_equilibria(system)
+    if not equilibria:
+        print("no equilibria found on the simplex")
+    for equilibrium in equilibria:
+        print("equilibrium:", equilibrium.render())
+    stable = [e for e in equilibria if e.is_stable]
+    print()
+    print(f"{len(stable)} stable of {len(equilibria)} equilibria "
+          f"(stable points become self-stabilizing protocol operating "
+          f"points)")
+    if args.trajectory:
+        initial = _parse_bindings(args.initial, "initial")
+        if not initial:
+            dim = system.dimension
+            initial = {v: 1.0 / dim for v in system.variables}
+        trajectory = integrate(system, initial, t_end=args.t_end)
+        print()
+        print(render_series(
+            trajectory.times,
+            {v: trajectory.series(v) for v in system.variables},
+            width=70, height=14,
+            title=f"trajectory from {initial}",
+        ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Translate differential equations into distributed "
+                    "protocols (Gupta, PODC 2004).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("equations", help="file with one equation per line")
+        p.add_argument("--param", action="append", default=[],
+                       metavar="NAME=VALUE", help="bind a rate symbol")
+
+    p_classify = sub.add_parser("classify", help="Section 2 taxonomy")
+    common(p_classify)
+    p_classify.set_defaults(func=cmd_classify)
+
+    p_synth = sub.add_parser("synthesize", help="emit the protocol")
+    common(p_synth)
+    p_synth.add_argument("--p", type=float, default=None,
+                         help="normalizing constant (default: auto)")
+    p_synth.add_argument("--failure-rate", type=float, default=0.0,
+                         help="per-connection failure rate f to compensate")
+    p_synth.add_argument("--no-rewrite", action="store_true",
+                         help="fail instead of auto-rewriting")
+    p_synth.add_argument("--no-tokenize", action="store_true",
+                         help="fail on terms that would need tokens")
+    p_synth.set_defaults(func=cmd_synthesize)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="equilibria and stability of the equations"
+    )
+    common(p_analyze)
+    p_analyze.add_argument("--trajectory", action="store_true",
+                           help="ASCII plot of one integrated trajectory")
+    p_analyze.add_argument("--initial", action="append", default=[],
+                           metavar="VAR=FRACTION",
+                           help="start point for --trajectory")
+    p_analyze.add_argument("--t-end", type=float, default=50.0,
+                           help="integration horizon for --trajectory")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_sim = sub.add_parser("simulate", help="run the synthesized protocol")
+    common(p_sim)
+    p_sim.add_argument("--p", type=float, default=None)
+    p_sim.add_argument("--failure-rate", type=float, default=0.0)
+    p_sim.add_argument("--n", type=int, default=10_000, help="group size")
+    p_sim.add_argument("--periods", type=int, default=100)
+    p_sim.add_argument("--seed", type=int, default=None)
+    p_sim.add_argument("--initial", action="append", default=[],
+                       metavar="STATE=COUNT",
+                       help="initial counts (default: all in first state, "
+                            "1 in second)")
+    p_sim.add_argument("--plot", action="store_true",
+                       help="ASCII plot of the state counts")
+    p_sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Probabilistic safety: replica longevity (paper Section 4.1.3).
+
+No responsibility-migration protocol can achieve deterministic safety
+(Theorem 2: all responsible processes may crash simultaneously), so the
+paper quantifies *probabilistic* safety with a back-of-the-envelope
+birth-death argument: at equilibrium each stasher creates new stashers
+at rate ``beta * x_inf = gamma`` -- exactly its own death rate -- so a
+stasher is equally likely to die before reproducing.  The chance that
+all ``y_inf`` stashers die childless is ``(1/2)^{y_inf}``, giving an
+expected object lifetime of ``2^{y_inf}`` protocol periods.
+
+Choosing parameters so ``y_inf = c log2 N`` makes the extinction
+probability ``N^{-c}`` -- the paper's headline numbers: 50 replicas in
+a 1024-host group with 6-minute periods live an expected 1.28e10 years;
+100 replicas among 2^20 hosts, 1.45e25 years.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..protocols.endemic import EndemicParams
+from ..runtime import RoundEngine
+from ..protocols.endemic import STASH, figure1_protocol
+
+#: Seconds per (Julian) year, as used for the longevity conversions.
+SECONDS_PER_YEAR = 365.25 * 24 * 3600
+
+
+def extinction_probability(y_inf: float) -> float:
+    """``(1/2)^{y_inf}``: all stashers die before creating replicas."""
+    if y_inf < 0:
+        raise ValueError(f"y_inf must be non-negative, got {y_inf}")
+    return 0.5**y_inf
+
+
+def expected_longevity_periods(y_inf: float) -> float:
+    """Expected object lifetime in protocol periods: ``2^{y_inf}``."""
+    return 2.0**y_inf
+
+
+def expected_longevity_years(
+    y_inf: float, period_seconds: float = 360.0
+) -> float:
+    """Expected lifetime in years for a given protocol period length.
+
+    The paper's examples use 6-minute (360 s) periods.
+    """
+    return expected_longevity_periods(y_inf) * period_seconds / SECONDS_PER_YEAR
+
+
+def replicas_for_extinction_probability(n: int, c: float) -> float:
+    """``y_inf = c log2(n)`` gives extinction probability ``n^{-c}``."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    return c * math.log2(n)
+
+
+@dataclass(frozen=True)
+class LongevityEstimate:
+    """The SAFE "table" row: a configuration and its predicted lifetime."""
+
+    n: int
+    replicas: float
+    period_seconds: float
+    extinction_probability: float
+    expected_years: float
+
+    @classmethod
+    def of(
+        cls, n: int, replicas: float, period_seconds: float = 360.0
+    ) -> "LongevityEstimate":
+        return cls(
+            n=n,
+            replicas=replicas,
+            period_seconds=period_seconds,
+            extinction_probability=extinction_probability(replicas),
+            expected_years=expected_longevity_years(replicas, period_seconds),
+        )
+
+
+# ----------------------------------------------------------------------
+# Empirical extinction measurement (small scale)
+# ----------------------------------------------------------------------
+@dataclass
+class ExtinctionTrial:
+    """Outcome of repeated small-scale extinction experiments."""
+
+    params: EndemicParams
+    n: int
+    trials: int
+    horizon_periods: int
+    extinctions: int
+
+    @property
+    def probability(self) -> float:
+        return self.extinctions / self.trials if self.trials else float("nan")
+
+
+def measure_extinction(
+    params: EndemicParams,
+    n: int,
+    trials: int,
+    horizon_periods: int,
+    seed: int = 0,
+) -> ExtinctionTrial:
+    """Empirical probability the stash population hits zero.
+
+    Only feasible for configurations with small equilibrium stash
+    populations (the whole point of the analysis is that realistic
+    configurations essentially never go extinct).  Used by the SAFE
+    bench to check the *shape*: each extra equilibrium replica roughly
+    halves the extinction probability.
+    """
+    spec = figure1_protocol(params)
+    extinctions = 0
+    initial = params.equilibrium_counts(n)
+    for trial in range(trials):
+        engine = RoundEngine(spec, n=n, initial=initial, seed=seed + trial)
+        stash_id = engine.state_id(STASH)
+        extinct = False
+        for _ in range(horizon_periods):
+            engine.step()
+            if not (engine.states[engine.alive] == stash_id).any():
+                extinct = True
+                break
+        extinctions += int(extinct)
+    return ExtinctionTrial(
+        params=params,
+        n=n,
+        trials=trials,
+        horizon_periods=horizon_periods,
+        extinctions=extinctions,
+    )
+
+
+# ----------------------------------------------------------------------
+# The Section 5.1 "Reality Check" quantities
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RealityCheck:
+    """Per-host costs of storing one file endemically (Section 5.1)."""
+
+    n: int
+    stashers: float
+    store_fraction: float          # fraction of time a host is a stasher
+    mean_store_periods: float      # expected stash dwell time (1/gamma)
+    periods_between_stints: float  # expected periods between stashing stints
+    bandwidth_bps_per_host: float  # steady-state transfer bandwidth
+
+    @classmethod
+    def of(
+        cls,
+        params: EndemicParams,
+        n: int,
+        file_size_bytes: float = 88.2e3,
+        period_seconds: float = 360.0,
+    ) -> "RealityCheck":
+        """Compute the reality-check row for a configuration.
+
+        The paper's example: N = 100,000, y_inf ~= 100 stashers, so each
+        host stores the file ~0.1% of the time, for ``1/gamma = 1000``
+        periods (~100 hours) per stint; at 88.2 KB mean file size and
+        6-minute periods the steady-state per-host bandwidth is
+        ``2 * gamma * y_inf * file_size / (N * period)`` ~ 3.9e-3 bps
+        (factor 2: every replica birth is one transfer *sent* by some
+        host and *received* by another; normalized per host).
+        """
+        eq = params.equilibrium_counts(n)
+        stashers = eq[STASH]
+        store_fraction = stashers / n
+        mean_store_periods = 1.0 / params.gamma
+        births_per_period = params.gamma * stashers
+        transfers_bytes_per_second = (
+            births_per_period * file_size_bytes / period_seconds
+        )
+        bandwidth = 2.0 * 8.0 * transfers_bytes_per_second / n  # bits/s/host
+        periods_between = (
+            (n / stashers) * mean_store_periods if stashers > 0 else math.inf
+        )
+        return cls(
+            n=n,
+            stashers=stashers,
+            store_fraction=store_fraction,
+            mean_store_periods=mean_store_periods,
+            periods_between_stints=periods_between,
+            bandwidth_bps_per_host=bandwidth,
+        )

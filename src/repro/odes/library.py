@@ -1,0 +1,214 @@
+"""Canonical equation systems from the paper (and close relatives).
+
+Every system the paper manipulates is available here by name, in the
+*fraction* notation (variables are fractions of processes, summing to
+one).  The errata's count notation (``beta = 2b/N``) is reachable via
+:func:`repro.odes.rewrite.denormalize`.
+
+=======================  ==========================================
+builder                  paper reference
+=======================  ==========================================
+``epidemic``             equation (0), the motivating pull epidemic
+``endemic``              equation (1), Case Study I (Section 4.1)
+``lv_raw``               equation (6), Case Study II, pre-rewrite
+``lv``                   equation (7), the mappable LV system
+``sir`` / ``sis``        standard epidemiology (Bailey [3])
+``higher_order_demo``    the ``x'' + x' = x`` example of Section 7
+=======================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .system import EquationSystem, build_system
+
+
+def epidemic(rate: float = 1.0) -> EquationSystem:
+    """Equation (0): ``x' = -rate*x*y; y' = rate*x*y``.
+
+    ``x`` is the susceptible fraction, ``y`` the infected fraction.
+    With ``rate=1`` this synthesizes to the canonical pull epidemic:
+    each susceptible samples one process per period and turns infected
+    if the target is infected.
+    """
+    return build_system(
+        "epidemic",
+        ["x", "y"],
+        {
+            "x": [(-rate, {"x": 1, "y": 1})],
+            "y": [(+rate, {"x": 1, "y": 1})],
+        },
+    )
+
+
+def endemic(
+    alpha: float,
+    gamma: float,
+    beta: Optional[float] = None,
+    b: Optional[int] = None,
+) -> EquationSystem:
+    """Equation (1), the endemic (SIRS-style) system, fraction notation.
+
+    ``x`` = susceptible/receptive, ``y`` = infected/stash, ``z`` =
+    immune/averse fractions::
+
+        x' = -beta*x*y + alpha*z
+        y' =  beta*x*y - gamma*y
+        z' =  gamma*y  - alpha*z
+
+    Exactly one of ``beta`` or ``b`` must be given.  When ``b`` (the
+    per-period contact fan-out of the Figure 1 protocol) is supplied,
+    the effective contact rate is ``beta = 2b``: receptives pull from
+    ``b`` random targets and stashers push to ``b`` random targets
+    (action (iv) with ``b = beta/2``), so
+    ``beta = N(1 - (1 - b/N)^2) ~= 2b`` in fraction notation.
+    """
+    if (beta is None) == (b is None):
+        raise ValueError("provide exactly one of beta= or b=")
+    if beta is None:
+        beta = 2.0 * float(b)  # type: ignore[arg-type]
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
+    if not 0 < gamma <= 1:
+        raise ValueError(f"gamma must lie in (0, 1], got {gamma}")
+    if beta <= gamma:
+        raise ValueError(f"the paper assumes beta > gamma (got {beta} <= {gamma})")
+    return build_system(
+        "endemic",
+        ["x", "y", "z"],
+        {
+            "x": [(-beta, {"x": 1, "y": 1}), (+alpha, {"z": 1})],
+            "y": [(+beta, {"x": 1, "y": 1}), (-gamma, {"y": 1})],
+            "z": [(+gamma, {"y": 1}), (-alpha, {"z": 1})],
+        },
+    )
+
+
+def lv_raw(rate: float = 3.0) -> EquationSystem:
+    """Equation (6): the raw Lotka-Volterra competition system.
+
+    Two variables only; not complete (a slack variable must be added)
+    and not directly partitionable -- the starting point for the
+    Section 4.2 rewrite demonstration::
+
+        x' = rate*x*(1 - x - 2y) = rate*x - rate*x^2 - 2*rate*x*y
+        y' = rate*y*(1 - y - 2x) = rate*y - rate*y^2 - 2*rate*x*y
+    """
+    return build_system(
+        "lv-raw",
+        ["x", "y"],
+        {
+            "x": [
+                (+rate, {"x": 1}),
+                (-rate, {"x": 2}),
+                (-2 * rate, {"x": 1, "y": 1}),
+            ],
+            "y": [
+                (+rate, {"y": 1}),
+                (-rate, {"y": 2}),
+                (-2 * rate, {"x": 1, "y": 1}),
+            ],
+        },
+    )
+
+
+def lv(rate: float = 3.0) -> EquationSystem:
+    """Equation (7): the mappable (restricted, partitionable) LV system.
+
+    ``x`` and ``y`` are the two competing proposal camps, ``z`` the
+    undecided fraction::
+
+        x' = +rate*x*z - rate*x*y
+        y' = +rate*y*z - rate*x*y
+        z' = -rate*x*z - rate*y*z + rate*x*y + rate*x*y
+
+    Note the *two* separate ``+rate*x*y`` terms in ``z'`` -- they pair
+    with the ``-rate*x*y`` outflows of ``x`` and ``y`` respectively.
+    """
+    return EquationSystem(
+        ["x", "y", "z"],
+        {
+            "x": _terms([(+rate, {"x": 1, "z": 1}), (-rate, {"x": 1, "y": 1})]),
+            "y": _terms([(+rate, {"y": 1, "z": 1}), (-rate, {"x": 1, "y": 1})]),
+            "z": _terms(
+                [
+                    (-rate, {"x": 1, "z": 1}),
+                    (-rate, {"y": 1, "z": 1}),
+                    (+rate, {"x": 1, "y": 1}),
+                    (+rate, {"x": 1, "y": 1}),
+                ]
+            ),
+        },
+        name="lv",
+    )
+
+
+def sir(beta: float, gamma: float) -> EquationSystem:
+    """Classic SIR epidemic (susceptible/infected/recovered), complete."""
+    return build_system(
+        "sir",
+        ["s", "i", "r"],
+        {
+            "s": [(-beta, {"s": 1, "i": 1})],
+            "i": [(+beta, {"s": 1, "i": 1}), (-gamma, {"i": 1})],
+            "r": [(+gamma, {"i": 1})],
+        },
+    )
+
+
+def sis(beta: float, gamma: float) -> EquationSystem:
+    """SIS epidemic: infection with recovery back to susceptible."""
+    return build_system(
+        "sis",
+        ["s", "i"],
+        {
+            "s": [(-beta, {"s": 1, "i": 1}), (+gamma, {"i": 1})],
+            "i": [(+beta, {"s": 1, "i": 1}), (-gamma, {"i": 1})],
+        },
+    )
+
+
+def push_epidemic(rate: float = 1.0) -> EquationSystem:
+    """Push-style epidemic: infectives sample and convert susceptibles.
+
+    The mean-field equations coincide with :func:`epidemic`; the
+    distinction matters at the protocol level (who sends the message),
+    which :mod:`repro.protocols.epidemic` models explicitly.
+    """
+    return epidemic(rate).with_name("push-epidemic")
+
+
+def higher_order_demo() -> EquationSystem:
+    """The Section 7 example ``x'' + x' = x`` as a first-order system.
+
+    Rewritten (paper): ``x' = u; u' = x - u; z' = -x``.
+    """
+    return build_system(
+        "higher-order-demo",
+        ["x", "u", "z"],
+        {
+            "x": [(+1.0, {"u": 1})],
+            "u": [(+1.0, {"x": 1}), (-1.0, {"u": 1})],
+            "z": [(-1.0, {"x": 1})],
+        },
+    )
+
+
+def _terms(pairs):
+    from .term import Term
+
+    return tuple(Term(c, e) for c, e in pairs)
+
+
+#: Registry of all named builders (used by CLI-ish helpers and tests).
+REGISTRY = {
+    "epidemic": epidemic,
+    "push-epidemic": push_epidemic,
+    "endemic": endemic,
+    "lv-raw": lv_raw,
+    "lv": lv,
+    "sir": sir,
+    "sis": sis,
+    "higher-order-demo": higher_order_demo,
+}

@@ -1,0 +1,203 @@
+"""The LV protocol: probabilistic majority selection (Section 4.2).
+
+Derived from a Lotka-Volterra competition system ("two species
+competing for the same limited resource typically cannot coexist"):
+states ``x`` and ``y`` are the two proposal camps and ``z`` the
+undecided processes.  Equation (7) maps through the Section 3 rules to
+the Figure 3 state machine: every process samples one random peer per
+period and, with coin bias ``3p``, moves as follows --
+
+* ``x`` meeting a ``y`` -> ``z``         (the camps erode each other)
+* ``y`` meeting an ``x`` -> ``z``
+* ``z`` meeting an ``x`` -> ``x``        (undecideds join a camp)
+* ``z`` meeting a ``y`` -> ``y``
+
+Theorem 4: ``(1,0)`` and ``(0,1)`` are stable, ``(0,0)`` unstable,
+``(1/3,1/3)`` a saddle; trajectories starting with ``x0 > y0`` converge
+to ``(1,0)`` (and symmetrically), so w.h.p. the group agrees on the
+initial majority.  Majority selection *cannot* be solved exactly in an
+asynchronous system (it would solve consensus), hence the probabilistic
+specification: the running decision variable eventually agrees
+everywhere and w.h.p. equals the initial majority.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..odes import library
+from ..runtime import MetricsRecorder, RoundEngine
+from ..runtime.round_engine import Hook
+from ..synthesis import ProtocolSpec, synthesize
+
+#: Decision values.
+ZERO, ONE, UNDECIDED = "x", "y", "z"
+
+
+def lv_protocol(p: float = 0.01, rate: float = 3.0) -> ProtocolSpec:
+    """The Figure 3 LV protocol (coin bias ``rate * p`` per action).
+
+    ``p = 0.01`` is the paper's experimental setting; one protocol
+    period then corresponds to ``p`` time units of equations (6)/(7).
+    """
+    return synthesize(library.lv(rate), p=p, name="lv-majority")
+
+
+@dataclass
+class MajorityOutcome:
+    """Result of one majority-selection run."""
+
+    n: int
+    initial_zero: int
+    initial_one: int
+    winner: Optional[str]
+    correct: Optional[bool]
+    convergence_period: Optional[int]
+    recorder: MetricsRecorder
+
+    @property
+    def converged(self) -> bool:
+        return self.winner is not None
+
+
+class LVMajority:
+    """A majority-selection instance over a process group.
+
+    Each process proposes 0 or 1 (states ``x`` / ``y``).  The protocol
+    runs forever; :meth:`run` advances it and detects *convergence* --
+    the period when every alive process sits in a single camp.  The
+    running decision variable of a process is its camp (``b`` /
+    undecided while in state ``z``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        zeros: int,
+        ones: int,
+        *,
+        p: float = 0.01,
+        seed: Optional[int] = None,
+        undecided: int = 0,
+    ):
+        if zeros + ones + undecided != n:
+            raise ValueError(
+                f"zeros+ones+undecided = {zeros + ones + undecided} != n = {n}"
+            )
+        self.n = n
+        self.initial_zero = zeros
+        self.initial_one = ones
+        self.spec = lv_protocol(p=p)
+        self.engine = RoundEngine(
+            self.spec,
+            n=n,
+            initial={ZERO: zeros, ONE: ones, UNDECIDED: undecided},
+            seed=seed,
+        )
+
+    def decisions(self) -> Dict[str, int]:
+        """Current decision variables: counts of 0 / 1 / undecided."""
+        counts = self.engine.counts()
+        return {"0": counts[ZERO], "1": counts[ONE], "b": counts[UNDECIDED]}
+
+    def converged_winner(self) -> Optional[str]:
+        """The winning camp if all alive processes agree, else None."""
+        counts = self.engine.counts()
+        alive = self.engine.alive_count()
+        if alive == 0:
+            return None
+        if counts[ZERO] == alive:
+            return ZERO
+        if counts[ONE] == alive:
+            return ONE
+        return None
+
+    def run(
+        self,
+        max_periods: int,
+        hooks: tuple = (),
+        recorder: Optional[MetricsRecorder] = None,
+        stop_on_convergence: bool = True,
+    ) -> MajorityOutcome:
+        """Advance up to ``max_periods``, recording counts per period."""
+        if recorder is None:
+            recorder = MetricsRecorder(self.spec.states)
+        hooks_list = list(hooks)
+        engine = self.engine
+        if engine.period == 0:
+            recorder.record(0, engine.counts(), engine.alive_count())
+        convergence_period = None
+        for _ in range(max_periods):
+            for hook in hooks_list:
+                hook(engine)
+            engine.step()
+            recorder.record(
+                engine.period,
+                engine.counts(),
+                engine.alive_count(),
+                transitions=engine.last_transitions,
+            )
+            if convergence_period is None:
+                winner = self.converged_winner()
+                if winner is not None:
+                    convergence_period = engine.period
+                    if stop_on_convergence:
+                        break
+        winner = self.converged_winner()
+        correct = None
+        if winner is not None and self.initial_zero != self.initial_one:
+            majority = ZERO if self.initial_zero > self.initial_one else ONE
+            correct = winner == majority
+        return MajorityOutcome(
+            n=self.n,
+            initial_zero=self.initial_zero,
+            initial_one=self.initial_one,
+            winner=winner,
+            correct=correct,
+            convergence_period=convergence_period,
+            recorder=recorder,
+        )
+
+
+def majority_accuracy(
+    n: int,
+    zeros: int,
+    trials: int,
+    *,
+    p: float = 0.01,
+    max_periods: int = 4000,
+    seed: int = 0,
+) -> float:
+    """Empirical probability that the initial majority wins.
+
+    The w.h.p. guarantee weakens as the initial split approaches 50/50
+    (the saddle at ``x = y``); this measures it.
+    """
+    wins = 0
+    decided = 0
+    for trial in range(trials):
+        outcome = LVMajority(
+            n, zeros, n - zeros, p=p, seed=seed + trial
+        ).run(max_periods)
+        if outcome.correct is not None:
+            decided += 1
+            wins += int(outcome.correct)
+    if decided == 0:
+        return float("nan")
+    return wins / decided
+
+
+def expected_convergence_periods(n: int, p: float = 0.01, u0: float = 0.25) -> float:
+    """Mean-field periods until the minority camp is O(1) in size.
+
+    Near the stable point the minority decays as ``u0 * e^{-3t}``
+    (Section 4.2.2), so reaching ``1/n`` takes ``t = ln(u0*n)/3`` time
+    units = ``ln(u0*n)/(3p)`` protocol periods -- O(log N) periods.
+    """
+    if n < 2:
+        return 0.0
+    return math.log(max(math.e, u0 * n)) / (3.0 * p)

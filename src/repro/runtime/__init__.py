@@ -1,0 +1,65 @@
+"""Simulation substrates for synthesized protocols.
+
+Two engines execute any :class:`~repro.synthesis.protocol.ProtocolSpec`:
+
+* :class:`~repro.runtime.round_engine.RoundEngine` -- vectorized
+  synchronous rounds; the faithful reproduction of the paper's C
+  simulator, fast enough for 100,000-host, 10,000-period experiments.
+* :class:`~repro.runtime.agent_sim.AgentSimulation` -- one DES coroutine
+  per process over an unreliable latency network with arbitrary period
+  phases and clock drift; validates that results are not artifacts of
+  synchrony.
+
+Support modules: the DES kernel (:mod:`~repro.runtime.des`,
+:mod:`~repro.runtime.events`), the network model
+(:mod:`~repro.runtime.network`), membership views and overlays,
+failure injection (:mod:`~repro.runtime.failures`), synthetic Overnet-
+style churn traces (:mod:`~repro.runtime.churn`), metrics recording and
+Mersenne Twister stream management (:mod:`~repro.runtime.rng`).
+"""
+
+from .agent_sim import AgentSimulation
+from .churn import ChurnEvent, ChurnReplayer, ChurnTrace, generate_trace
+from .des import Environment, Interrupted, Process
+from .events import Event, EventQueue
+from .failures import CrashRecoveryNoise, DirectedAttack, MassiveFailure, OpenGroupJoins, ScheduledRecovery
+from .membership import FullMembership, PartialMembership
+from .metrics import MetricsRecorder, WindowStats
+from .network import ContactFailed, LatencyModel, Network
+from .overlay import erdos_renyi_overlay, log_degree, overlay_stats, random_regular_overlay
+from .rng import RandomSource, make_generator, sample_other
+from .round_engine import RoundEngine, RunResult
+
+__all__ = [
+    "RoundEngine",
+    "RunResult",
+    "AgentSimulation",
+    "Environment",
+    "Process",
+    "Interrupted",
+    "Event",
+    "EventQueue",
+    "Network",
+    "LatencyModel",
+    "ContactFailed",
+    "FullMembership",
+    "PartialMembership",
+    "MetricsRecorder",
+    "WindowStats",
+    "MassiveFailure",
+    "OpenGroupJoins",
+    "CrashRecoveryNoise",
+    "DirectedAttack",
+    "ScheduledRecovery",
+    "ChurnTrace",
+    "ChurnEvent",
+    "ChurnReplayer",
+    "generate_trace",
+    "RandomSource",
+    "make_generator",
+    "sample_other",
+    "log_degree",
+    "random_regular_overlay",
+    "erdos_renyi_overlay",
+    "overlay_stats",
+]

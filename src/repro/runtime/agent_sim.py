@@ -1,0 +1,238 @@
+"""The asynchronous agent-level simulator.
+
+:class:`AgentSimulation` runs a protocol with one DES coroutine per
+process over an unreliable latency network -- the high-fidelity engine
+used to validate that the synchronous
+:class:`~repro.runtime.round_engine.RoundEngine` results are not
+artifacts of synchrony.  Per the paper's system model:
+
+* protocol periods start at arbitrary times at different processes;
+* clocks may drift (per-agent clock-speed factors); the analysis holds
+  for the group-average period;
+* the network delays and drops messages.
+
+Use this engine for groups up to a few thousand processes; use the
+round engine for the 100,000-host experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..synthesis.protocol import ProtocolSpec
+from .agent import Agent
+from .des import Environment
+from .membership import FullMembership, PartialMembership
+from .metrics import MetricsRecorder
+from .network import LatencyModel, Network
+from .rng import RandomSource
+
+
+class AgentSimulation:
+    """Asynchronous simulation of one protocol over N agent processes.
+
+    Parameters
+    ----------
+    spec:
+        Protocol to execute.
+    n:
+        Number of processes.
+    initial:
+        Initial state distribution (counts summing to ``n`` or
+        fractions summing to 1).
+    period:
+        Nominal protocol period duration (simulation time units).
+    loss_rate:
+        Per-connection failure probability of the network.
+    latency:
+        Round-trip latency model (defaults to ~3% of a period).
+    clock_drift_std:
+        Standard deviation of per-agent clock-speed factors around 1.
+    membership:
+        Optional :class:`PartialMembership` for footnote-1 experiments;
+        the default is full membership.
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        n: int,
+        initial: Mapping[str, float],
+        *,
+        period: float = 1.0,
+        seed: Optional[int] = None,
+        loss_rate: float = 0.0,
+        latency: Optional[LatencyModel] = None,
+        clock_drift_std: float = 0.0,
+        membership: Optional[PartialMembership] = None,
+    ):
+        if n < 2:
+            raise ValueError(f"need at least 2 processes, got {n}")
+        self.spec = spec
+        self.n = n
+        self.period = period
+        self.env = Environment()
+        source = RandomSource(seed)
+        self.rng = source.stream("agents")
+        self.network = Network(
+            self.env,
+            source.stream("network"),
+            loss_rate=loss_rate,
+            latency=latency or LatencyModel(base=0.01 * period, jitter_mean=0.02 * period),
+        )
+        self.membership = membership or FullMembership(n, source.stream("membership"))
+        self.transition_counts: Dict[Tuple[str, str], int] = {}
+        self._transition_log: List[Tuple[float, Tuple[str, str]]] = []
+
+        states = self._assign_initial(initial, source.stream("initial"))
+        drift_rng = source.stream("clocks")
+        self.agents: List[Agent] = []
+        for agent_id in range(n):
+            clock = 1.0
+            if clock_drift_std > 0.0:
+                clock = max(0.1, float(drift_rng.normal(1.0, clock_drift_std)))
+            agent = Agent(
+                self,
+                agent_id,
+                state=states[agent_id],
+                period=period,
+                clock_factor=clock,
+                phase=float(self.rng.random() * period),
+            )
+            self.agents.append(agent)
+            self.network.register(agent_id, agent.handle)
+            self.env.spawn(agent.run())
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _assign_initial(
+        self, initial: Mapping[str, float], rng: np.random.Generator
+    ) -> List[str]:
+        names = list(self.spec.states)
+        unknown = set(initial) - set(names)
+        if unknown:
+            raise ValueError(f"unknown states {sorted(unknown)}")
+        values = np.array([float(initial.get(s, 0.0)) for s in names])
+        total = values.sum()
+        if abs(total - 1.0) < 1e-6:
+            values *= self.n
+        elif abs(total - self.n) > max(1.0, 1e-6 * self.n):
+            raise ValueError(
+                f"initial distribution sums to {total}; expected 1 or {self.n}"
+            )
+        counts = np.floor(values).astype(int)
+        for index in np.argsort(-(values - np.floor(values)))[: self.n - counts.sum()]:
+            counts[index] += 1
+        assignment = [
+            name for name, count in zip(names, counts) for _ in range(count)
+        ]
+        rng.shuffle(assignment)
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Services used by agents
+    # ------------------------------------------------------------------
+    def sample_peer(self, caller: int) -> int:
+        return int(self.membership.sample(caller, 1)[0])
+
+    def oracle_member(self, state: str) -> Optional[int]:
+        """A uniformly random alive agent currently in ``state``.
+
+        Models the membership-service-based token routing of Section 6
+        (e.g. SWIM); None when no such process exists (token dropped).
+        """
+        candidates = [
+            a.id for a in self.agents if a.alive and a.state == state
+        ]
+        if not candidates:
+            return None
+        return int(self.rng.choice(candidates))
+
+    def note_transition(self, edge: Tuple[str, str]) -> None:
+        self.transition_counts[edge] = self.transition_counts.get(edge, 0) + 1
+        self._transition_log.append((self.env.now, edge))
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def crash(self, agent_ids) -> None:
+        for agent_id in np.atleast_1d(agent_ids):
+            agent = self.agents[int(agent_id)]
+            agent.alive = False
+            self.network.unregister(int(agent_id))
+
+    def crash_fraction(self, fraction: float) -> np.ndarray:
+        alive = [a.id for a in self.agents if a.alive]
+        count = int(round(fraction * len(alive)))
+        victims = self.rng.choice(np.array(alive), size=count, replace=False)
+        self.crash(victims)
+        return victims
+
+    def recover(self, agent_ids, state: Optional[str] = None) -> None:
+        """Crash-recovery: the agent rejoins with volatile state lost."""
+        for agent_id in np.atleast_1d(agent_ids):
+            agent = self.agents[int(agent_id)]
+            if agent.alive:
+                continue
+            agent.alive = True
+            agent.state = state or self.spec.states[0]
+            self.network.register(int(agent_id), agent.handle)
+            self.env.spawn(agent.run())
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        out = {s: 0 for s in self.spec.states}
+        for agent in self.agents:
+            if agent.alive:
+                out[agent.state] += 1
+        return out
+
+    def fractions(self) -> Dict[str, float]:
+        alive = sum(1 for a in self.agents if a.alive)
+        counts = self.counts()
+        if alive == 0:
+            return {s: 0.0 for s in self.spec.states}
+        return {s: counts[s] / alive for s in self.spec.states}
+
+    def alive_count(self) -> int:
+        return sum(1 for a in self.agents if a.alive)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        periods: float,
+        recorder: Optional[MetricsRecorder] = None,
+        sample_every: float = 1.0,
+    ) -> MetricsRecorder:
+        """Advance the simulation ``periods`` nominal periods.
+
+        Counts are sampled every ``sample_every`` periods into the
+        recorder (period index = elapsed nominal periods).
+        """
+        if recorder is None:
+            recorder = MetricsRecorder(self.spec.states)
+        start = self.env.now
+        steps = int(round(periods / sample_every))
+        last_counts: Dict[Tuple[str, str], int] = dict(self.transition_counts)
+        for step in range(1, steps + 1):
+            target_time = start + step * sample_every * self.period
+            self.env.run(until=target_time)
+            deltas = {
+                edge: self.transition_counts.get(edge, 0) - last_counts.get(edge, 0)
+                for edge in self.transition_counts
+            }
+            last_counts = dict(self.transition_counts)
+            recorder.record(
+                period=int(round((self.env.now - start) / self.period)),
+                counts=self.counts(),
+                alive=self.alive_count(),
+                transitions=deltas,
+            )
+        return recorder

@@ -1,0 +1,110 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+There is no simpy available in this environment, so the repository
+ships its own minimal-but-real DES core.  This module provides the
+:class:`Event` future-like object and the time-ordered
+:class:`EventQueue`; :mod:`repro.runtime.des` builds the process model
+on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EventAlreadySettled(RuntimeError):
+    """Raised when an event is succeeded or failed twice."""
+
+
+class Event:
+    """A one-shot future: callbacks run when the event settles.
+
+    Events carry either a value (:meth:`succeed`) or an exception
+    (:meth:`fail`).  Processes created by the DES environment can
+    ``yield`` an event to suspend until it settles.
+    """
+
+    __slots__ = ("callbacks", "_value", "_exception", "_settled")
+
+    def __init__(self):
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._settled = False
+
+    @property
+    def settled(self) -> bool:
+        return self._settled
+
+    @property
+    def ok(self) -> bool:
+        """True when the event settled successfully."""
+        return self._settled and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self._settled:
+            raise RuntimeError("event has not settled yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._settled:
+            raise EventAlreadySettled("event already settled")
+        self._settled = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._settled:
+            raise EventAlreadySettled("event already settled")
+        self._settled = True
+        self._exception = exception
+        self._dispatch()
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(self)`` when settled (immediately if already)."""
+        if self._settled:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class EventQueue:
+    """Min-heap of ``(time, sequence, callback)`` entries.
+
+    The sequence number makes ordering of same-time events FIFO and
+    deterministic, which matters for reproducible simulations.
+    """
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def pop(self) -> Tuple[float, Callable[[], None]]:
+        time, _, callback = heapq.heappop(self._heap)
+        return time, callback
+
+    def peek_time(self) -> Optional[float]:
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

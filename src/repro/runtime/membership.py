@@ -1,0 +1,66 @@
+"""Group membership views.
+
+The paper's system model gives every process knowledge of the *maximal*
+group membership (all ``N - 1`` peers), with a footnote that well-known
+techniques reduce the view to logarithmic size.  This module provides
+both: :class:`FullMembership` (the default, matching the analysis) and
+:class:`PartialMembership` built on a random overlay graph (see
+:mod:`repro.runtime.overlay`), letting experiments quantify how little
+the protocols care about the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class FullMembership:
+    """Uniform sampling over the maximal membership ``0 .. n-1``.
+
+    Samples may land on crashed processes -- the caller finds out when
+    the contact fails, which is exactly the paper's model (and the
+    mechanism behind the Figure 5 equilibrium shift).
+    """
+
+    def __init__(self, n: int, rng: np.random.Generator):
+        if n < 2:
+            raise ValueError(f"group must have at least 2 processes, got {n}")
+        self.n = n
+        self._rng = rng
+
+    def sample(self, caller: int, k: int = 1) -> np.ndarray:
+        """``k`` uniform target ids, excluding the caller."""
+        targets = self._rng.integers(0, self.n - 1, size=k)
+        return targets + (targets >= caller)
+
+    def view_size(self, caller: int) -> int:
+        return self.n - 1
+
+
+class PartialMembership:
+    """Sampling restricted to per-process overlay neighborhoods.
+
+    Models footnote 1: each process knows only ``O(log n)`` peers.
+    Backed by an adjacency-list view of an overlay graph; sampling is
+    uniform over the caller's neighbors.
+    """
+
+    def __init__(self, neighbors: Sequence[np.ndarray], rng: np.random.Generator):
+        if any(len(peers) == 0 for peers in neighbors):
+            raise ValueError("every process needs at least one neighbor")
+        self.neighbors = [np.asarray(peers, dtype=np.int64) for peers in neighbors]
+        self.n = len(neighbors)
+        self._rng = rng
+
+    def sample(self, caller: int, k: int = 1) -> np.ndarray:
+        peers = self.neighbors[caller]
+        indexes = self._rng.integers(0, len(peers), size=k)
+        return peers[indexes]
+
+    def view_size(self, caller: int) -> int:
+        return len(self.neighbors[caller])
+
+    def mean_view_size(self) -> float:
+        return float(np.mean([len(p) for p in self.neighbors]))

@@ -1,0 +1,186 @@
+"""Metrics recording for protocol simulations.
+
+The paper's figures are all time series derived from three kinds of
+observations, all captured here:
+
+* per-period counts of alive processes in each state (Figures 2, 4, 5,
+  7, 9, 11, 12);
+* per-period transition counts along each state-machine edge -- the
+  "file flux rate" of Figure 6 and the transition plot of Figure 10;
+* per-period identity of the processes in a chosen state -- the stasher
+  scatter of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class WindowStats:
+    """Median/min/max/mean of a series over an observation window."""
+
+    median: float
+    minimum: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def of(cls, series: np.ndarray) -> "WindowStats":
+        if len(series) == 0:
+            raise ValueError("empty series")
+        return cls(
+            median=float(np.median(series)),
+            minimum=float(np.min(series)),
+            maximum=float(np.max(series)),
+            mean=float(np.mean(series)),
+        )
+
+
+class MetricsRecorder:
+    """Collects per-period observations from a simulation engine.
+
+    Parameters
+    ----------
+    states:
+        Ordered state names (defines the layout of count rows).
+    track_transitions:
+        Record per-edge transition counts each period.
+    member_log_state:
+        When set to a state name, the recorder stores the ids of alive
+        processes in that state each period (Figure 8's stasher log).
+        Expensive for big groups; leave None unless needed.
+    stride:
+        Record only every ``stride``-th period (1 = every period).
+    """
+
+    def __init__(
+        self,
+        states: Sequence[str],
+        track_transitions: bool = True,
+        member_log_state: Optional[str] = None,
+        stride: int = 1,
+    ):
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.states = tuple(states)
+        self.track_transitions = track_transitions
+        self.member_log_state = member_log_state
+        self.stride = stride
+        self.periods: List[int] = []
+        self._counts: List[np.ndarray] = []
+        self._alive: List[int] = []
+        self._transitions: List[Dict[Tuple[str, str], int]] = []
+        self.member_log: List[Tuple[int, np.ndarray]] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        period: int,
+        counts: Mapping[str, int],
+        alive: int,
+        transitions: Optional[Mapping[Tuple[str, str], int]] = None,
+        members: Optional[np.ndarray] = None,
+    ) -> None:
+        """Store one period's observations (subject to the stride)."""
+        if period % self.stride != 0:
+            return
+        self.periods.append(period)
+        self._counts.append(
+            np.array([counts.get(s, 0) for s in self.states], dtype=np.int64)
+        )
+        self._alive.append(alive)
+        if self.track_transitions:
+            self._transitions.append(dict(transitions or {}))
+        if self.member_log_state is not None and members is not None:
+            self.member_log.append((period, np.array(members, copy=True)))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        return np.array(self.periods, dtype=np.int64)
+
+    def counts(self, state: str) -> np.ndarray:
+        """Time series of alive processes in ``state``."""
+        index = self.states.index(state)
+        if not self._counts:
+            return np.empty(0, dtype=np.int64)
+        return np.stack(self._counts)[:, index]
+
+    def alive_series(self) -> np.ndarray:
+        return np.array(self._alive, dtype=np.int64)
+
+    def fractions(self, state: str) -> np.ndarray:
+        """Counts normalized by the alive population per period."""
+        alive = self.alive_series().astype(float)
+        alive[alive == 0] = np.nan
+        return self.counts(state) / alive
+
+    def transition_series(self, edge: Tuple[str, str]) -> np.ndarray:
+        """Per-period transitions along ``(from_state, to_state)``."""
+        if not self.track_transitions:
+            raise RuntimeError("transition tracking is disabled")
+        return np.array(
+            [t.get(edge, 0) for t in self._transitions], dtype=np.int64
+        )
+
+    def edges_seen(self) -> List[Tuple[str, str]]:
+        """Every edge that carried at least one transition."""
+        seen: List[Tuple[str, str]] = []
+        for period_transitions in self._transitions:
+            for edge, count in period_transitions.items():
+                if count and edge not in seen:
+                    seen.append(edge)
+        return sorted(seen)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def window(
+        self, state: str, start_period: int, end_period: Optional[int] = None
+    ) -> WindowStats:
+        """Stats of a state's count series over ``[start, end]`` periods.
+
+        This is the Figure 7 measurement: median (plus min/max bars) of
+        the state population over a long observation window.
+        """
+        times = self.times
+        mask = times >= start_period
+        if end_period is not None:
+            mask &= times <= end_period
+        series = self.counts(state)[mask]
+        return WindowStats.of(series)
+
+    def last_counts(self) -> Dict[str, int]:
+        """Counts at the most recent recorded period."""
+        if not self._counts:
+            return {s: 0 for s in self.states}
+        latest = self._counts[-1]
+        return {s: int(latest[i]) for i, s in enumerate(self.states)}
+
+    def member_occupancy(self) -> Dict[int, int]:
+        """Per-host number of logged periods spent in the logged state.
+
+        Supports the Figure 8 load-balancing claim: responsibility time
+        should be spread evenly across hosts.
+        """
+        occupancy: Dict[int, int] = {}
+        for _, members in self.member_log:
+            for host in members.tolist():
+                occupancy[host] = occupancy.get(host, 0) + 1
+        return occupancy
+
+    def to_rows(self) -> List[Tuple]:
+        """Tabular dump: (period, alive, count per state...)."""
+        rows = []
+        alive = self._alive
+        for i, period in enumerate(self.periods):
+            rows.append((period, alive[i], *self._counts[i].tolist()))
+        return rows

@@ -1,0 +1,132 @@
+"""Unreliable asynchronous network model for the DES agent simulator.
+
+The paper's system model assumes an asynchronous network that "can drop
+messages or connections".  This module models point-to-point contacts
+with configurable latency distributions and a per-connection failure
+probability; it is used by :mod:`repro.runtime.agent` for the
+high-fidelity (non-synchronous) simulations that check the round-engine
+results are not artifacts of synchrony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from .des import Environment
+from .events import Event
+
+
+class ContactFailed(Exception):
+    """The contact attempt failed (loss, or target crashed)."""
+
+
+@dataclass
+class LatencyModel:
+    """Round-trip latency distribution for contacts.
+
+    ``base`` plus an exponential tail of mean ``jitter_mean`` -- a
+    common model of wide-area RPC latency.  All values are expressed in
+    protocol-period units (e.g. 0.01 = 1% of a period).
+    """
+
+    base: float = 0.01
+    jitter_mean: float = 0.02
+
+    def draw(self, rng: np.random.Generator) -> float:
+        jitter = rng.exponential(self.jitter_mean) if self.jitter_mean > 0 else 0.0
+        return self.base + jitter
+
+
+class Network:
+    """Point-to-point contact fabric between registered endpoints.
+
+    Endpoints register a synchronous ``handler(payload) -> reply``;
+    :meth:`contact` returns an event that either succeeds with the reply
+    after a latency draw, or fails with :class:`ContactFailed` when the
+    connection drops (probability ``loss_rate``) or the destination is
+    not registered/alive.
+
+    The handler runs at *delivery* time, so the reply reflects the
+    target's state when the message arrives -- the asynchronous-reality
+    detail the synchronous round engine abstracts away.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: np.random.Generator,
+        loss_rate: float = 0.0,
+        latency: Optional[LatencyModel] = None,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must lie in [0, 1), got {loss_rate}")
+        self.env = env
+        self.rng = rng
+        self.loss_rate = loss_rate
+        self.latency = latency or LatencyModel()
+        self._endpoints: Dict[int, Callable[[Any], Any]] = {}
+        self.contacts_attempted = 0
+        self.contacts_failed = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, address: int, handler: Callable[[Any], Any]) -> None:
+        """Attach an endpoint; replaces any previous handler."""
+        self._endpoints[address] = handler
+
+    def unregister(self, address: int) -> None:
+        """Detach an endpoint (crashed host): future contacts fail."""
+        self._endpoints.pop(address, None)
+
+    def is_registered(self, address: int) -> bool:
+        return address in self._endpoints
+
+    # ------------------------------------------------------------------
+    # Contacts
+    # ------------------------------------------------------------------
+    def contact(self, destination: int, payload: Any) -> Event:
+        """Initiate a round-trip contact; returns a result event.
+
+        The event fails with :class:`ContactFailed` if the connection
+        drops or the destination is unregistered **at delivery time**.
+        """
+        self.contacts_attempted += 1
+        result = Event()
+        delay = self.latency.draw(self.rng)
+        dropped = self.rng.random() < self.loss_rate
+
+        def deliver() -> None:
+            handler = self._endpoints.get(destination)
+            if dropped or handler is None:
+                self.contacts_failed += 1
+                result.fail(ContactFailed(destination))
+                return
+            try:
+                reply = handler(payload)
+            except Exception as exc:  # endpoint bug: surface as failure
+                self.contacts_failed += 1
+                result.fail(ContactFailed(f"handler error: {exc!r}"))
+                return
+            result.succeed(reply)
+
+        self.env.schedule(delay, deliver)
+        return result
+
+    def fire_and_forget(self, destination: int, payload: Any) -> None:
+        """One-way message (used by push-style actions and tokens)."""
+        self.contacts_attempted += 1
+        dropped = self.rng.random() < self.loss_rate
+        delay = self.latency.draw(self.rng)
+
+        def deliver() -> None:
+            handler = self._endpoints.get(destination)
+            if dropped or handler is None:
+                self.contacts_failed += 1
+                return
+            handler(payload)
+
+        self.env.schedule(delay, deliver)

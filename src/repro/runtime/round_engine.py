@@ -1,0 +1,481 @@
+"""Vectorized synchronous-round execution of protocol specifications.
+
+The paper's experiments run "multiple instances ... synchronously over a
+simulated network" -- i.e. a synchronous-round simulation.  This engine
+reproduces that setup at scale: process states live in one numpy array,
+and each protocol period executes every action of the
+:class:`~repro.synthesis.protocol.ProtocolSpec` vectorized over the
+processes currently in the acting state.
+
+Semantics (matching the paper's system model):
+
+* Targets are sampled uniformly from the *maximal membership* (all N
+  ids, excluding the caller); contacts that land on crashed processes
+  fail.  This is exactly the mechanism behind Figure 5's observation
+  that after a 50% massive failure the receptive count is unchanged
+  (the effective contact fan-out halves).
+* A per-connection failure probability can drop any individual contact,
+  modeling the lossy network of Section 3 ("The Effect of Failures").
+* All action conditions are evaluated against the state snapshot taken
+  at the start of the period, and each process transitions at most once
+  per period (rare same-period conflicts resolve in action declaration
+  order; they are an O((p c)^2) effect the normalizing constant keeps
+  small).
+
+Coin flips use exact binomial thinning: instead of tossing one coin per
+process, the engine draws the number of heads from the binomial
+distribution and then picks that many distinct processes -- identical in
+distribution, and what makes 100,000-host, 10,000-period runs fast when
+the biased coins are heavily weighted toward tails (e.g. alpha = 1e-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..synthesis.actions import (
+    Action,
+    AnyOfSampleAction,
+    FlipAction,
+    PushAction,
+    SampleAction,
+    TokenizeAction,
+)
+from ..synthesis.protocol import ProtocolSpec
+from .metrics import MetricsRecorder
+from .rng import RandomSource, sample_other
+
+#: Hook signature: called once per period, before actions execute.
+Hook = Callable[["RoundEngine"], None]
+
+
+@dataclass
+class _Compiled:
+    """A protocol action lowered to integer state ids."""
+
+    kind: str
+    actor: int
+    probability: float
+    target: int
+    required: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int8))
+    match: int = -1
+    fanout: int = 0
+    token_state: int = -1
+    ttl: Optional[int] = None
+    edge_from: int = -1  # state the moving process leaves
+
+
+def _compile(spec: ProtocolSpec) -> List[_Compiled]:
+    index = {name: i for i, name in enumerate(spec.states)}
+    compiled = []
+    for action in spec.actions:
+        base = dict(
+            actor=index[action.actor_state],
+            probability=action.probability,
+            target=index[action.target_state],
+        )
+        if isinstance(action, FlipAction):
+            compiled.append(
+                _Compiled(kind="flip", edge_from=base["actor"], **base)
+            )
+        elif isinstance(action, TokenizeAction):
+            compiled.append(
+                _Compiled(
+                    kind="tokenize",
+                    required=np.array(
+                        [index[s] for s in action.required_states], dtype=np.int8
+                    ),
+                    token_state=index[action.token_state],
+                    ttl=action.ttl,
+                    edge_from=index[action.token_state],
+                    **base,
+                )
+            )
+        elif isinstance(action, SampleAction):
+            compiled.append(
+                _Compiled(
+                    kind="sample",
+                    required=np.array(
+                        [index[s] for s in action.required_states], dtype=np.int8
+                    ),
+                    edge_from=base["actor"],
+                    **base,
+                )
+            )
+        elif isinstance(action, AnyOfSampleAction):
+            compiled.append(
+                _Compiled(
+                    kind="anyof",
+                    match=index[action.match_state],
+                    fanout=action.fanout,
+                    edge_from=base["actor"],
+                    **base,
+                )
+            )
+        elif isinstance(action, PushAction):
+            compiled.append(
+                _Compiled(
+                    kind="push",
+                    match=index[action.match_state],
+                    fanout=action.fanout,
+                    edge_from=index[action.match_state],
+                    **base,
+                )
+            )
+        else:  # pragma: no cover - future kinds
+            raise TypeError(f"cannot compile action kind {action.kind}")
+    return compiled
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :meth:`RoundEngine.run` call."""
+
+    engine: "RoundEngine"
+    recorder: MetricsRecorder
+
+    def final_counts(self) -> Dict[str, int]:
+        return self.engine.counts()
+
+    def final_fractions(self) -> Dict[str, float]:
+        return self.engine.fractions()
+
+
+class RoundEngine:
+    """Synchronous-round simulator for one protocol instance.
+
+    Parameters
+    ----------
+    spec:
+        The protocol to execute.
+    n:
+        Group size (maximal membership; ids ``0 .. n-1``).
+    initial:
+        Initial distribution over states, as counts (summing to ``n``)
+        or fractions (summing to 1).  Missing states get zero.
+    seed:
+        Seed for the Mersenne Twister streams.
+    connection_failure_rate:
+        Probability ``f`` that any individual contact attempt fails
+        (Section 3's per-connection failure rate).
+    shuffle:
+        Assign initial states to host ids in random order (default), so
+        host id carries no information -- required for the Figure 8
+        untraceability measurement.
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        n: int,
+        initial: Mapping[str, float],
+        seed: Optional[int] = None,
+        connection_failure_rate: float = 0.0,
+        shuffle: bool = True,
+    ):
+        if n < 2:
+            raise ValueError(f"group size must be >= 2, got {n}")
+        if not 0.0 <= connection_failure_rate < 1.0:
+            raise ValueError(
+                f"connection failure rate must lie in [0, 1), got "
+                f"{connection_failure_rate}"
+            )
+        self.spec = spec
+        self.n = n
+        self.connection_failure_rate = connection_failure_rate
+        self.state_names = spec.states
+        self._index = {name: i for i, name in enumerate(spec.states)}
+        self._compiled = _compile(spec)
+        self._random_source = RandomSource(seed)
+        self._rng = self._random_source.stream("protocol")
+        self._fault_rng = self._random_source.stream("faults")
+
+        self.states = self._initial_states(initial, shuffle)
+        self.alive = np.ones(n, dtype=bool)
+        self.period = 0
+        self.last_transitions: Dict[Tuple[str, str], int] = {}
+        self.total_messages = 0
+        self.recovery_state = spec.states[0]
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+    def _initial_states(
+        self, initial: Mapping[str, float], shuffle: bool
+    ) -> np.ndarray:
+        unknown = set(initial) - set(self.state_names)
+        if unknown:
+            raise ValueError(f"unknown states in initial distribution: {sorted(unknown)}")
+        values = np.array(
+            [float(initial.get(s, 0.0)) for s in self.state_names]
+        )
+        total = values.sum()
+        if abs(total - 1.0) < 1e-6:
+            values = values * self.n
+        elif abs(total - self.n) > max(1.0, 1e-6 * self.n):
+            raise ValueError(
+                f"initial distribution sums to {total}; expected 1.0 "
+                f"(fractions) or {self.n} (counts)"
+            )
+        counts = np.floor(values).astype(np.int64)
+        remainder = self.n - counts.sum()
+        if remainder < 0:
+            raise ValueError("initial counts exceed the group size")
+        # Largest-remainder rounding for the leftover processes.
+        fractional = values - np.floor(values)
+        for index in np.argsort(-fractional)[:remainder]:
+            counts[index] += 1
+        states = np.repeat(
+            np.arange(len(self.state_names), dtype=np.int8), counts
+        )
+        if shuffle:
+            self._random_source.stream("initial-shuffle").shuffle(states)
+        return states
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state_id(self, name: str) -> int:
+        return self._index[name]
+
+    def counts(self) -> Dict[str, int]:
+        """Alive process count per state."""
+        raw = np.bincount(
+            self.states[self.alive], minlength=len(self.state_names)
+        )
+        return {s: int(raw[i]) for i, s in enumerate(self.state_names)}
+
+    def fractions(self) -> Dict[str, float]:
+        """State fractions among alive processes."""
+        alive = int(self.alive.sum())
+        if alive == 0:
+            return {s: 0.0 for s in self.state_names}
+        counts = self.counts()
+        return {s: counts[s] / alive for s in self.state_names}
+
+    def alive_count(self) -> int:
+        return int(self.alive.sum())
+
+    def members_in(self, state: str) -> np.ndarray:
+        """Ids of alive processes currently in ``state``."""
+        sid = self._index[state]
+        return np.nonzero((self.states == sid) & self.alive)[0]
+
+    def elapsed_time(self) -> float:
+        """ODE time corresponding to the periods run so far."""
+        return self.spec.time_for_periods(self.period)
+
+    # ------------------------------------------------------------------
+    # Fault injection (used directly and by runtime.failures hooks)
+    # ------------------------------------------------------------------
+    def crash(self, hosts: np.ndarray) -> None:
+        """Crash-stop the given hosts (they stop responding)."""
+        self.alive[np.asarray(hosts, dtype=np.int64)] = False
+
+    def crash_fraction(self, fraction: float) -> np.ndarray:
+        """Crash a uniformly random fraction of the alive hosts."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+        alive_ids = np.nonzero(self.alive)[0]
+        count = int(round(fraction * len(alive_ids)))
+        victims = self._fault_rng.choice(alive_ids, size=count, replace=False)
+        self.crash(victims)
+        return victims
+
+    def recover(self, hosts: np.ndarray, state: Optional[str] = None) -> None:
+        """Crash-recovery: hosts rejoin in ``state`` (volatile state lost).
+
+        The default recovery state is the first protocol state, which
+        for the endemic protocol is *receptive*: a recovered host has
+        lost its replicas and must re-acquire responsibility.
+        """
+        hosts = np.asarray(hosts, dtype=np.int64)
+        self.alive[hosts] = True
+        self.states[hosts] = self._index[state or self.recovery_state]
+
+    def set_states(self, hosts: np.ndarray, state: str) -> None:
+        """Force hosts into a state (test and application hook)."""
+        self.states[np.asarray(hosts, dtype=np.int64)] = self._index[state]
+
+    # ------------------------------------------------------------------
+    # The synchronous round
+    # ------------------------------------------------------------------
+    def step(self) -> Dict[Tuple[str, str], int]:
+        """Execute one protocol period; returns the transition counts."""
+        snapshot = self.states.copy()
+        alive = self.alive
+        moved = np.zeros(self.n, dtype=bool)
+        transitions: Dict[Tuple[str, str], int] = {}
+        members_cache: Dict[int, np.ndarray] = {}
+
+        def members(sid: int) -> np.ndarray:
+            cached = members_cache.get(sid)
+            if cached is None:
+                cached = np.nonzero((snapshot == sid) & alive)[0]
+                members_cache[sid] = cached
+            return cached
+
+        counts = np.bincount(
+            snapshot[alive], minlength=len(self.state_names)
+        )
+
+        for action in self._compiled:
+            actor_count = int(counts[action.actor])
+            if actor_count == 0:
+                continue
+            if action.probability <= 0.0:
+                continue
+            if action.probability < 1.0:
+                heads = self._rng.binomial(actor_count, action.probability)
+                if heads == 0:
+                    continue
+                actors = self._rng.choice(
+                    members(action.actor), size=heads, replace=False
+                )
+            else:
+                actors = members(action.actor)
+            movers, edge_from = self._execute(
+                action, actors, snapshot, alive, moved, members
+            )
+            if len(movers) == 0:
+                continue
+            movers = movers[~moved[movers]]
+            if len(movers) == 0:
+                continue
+            moved[movers] = True
+            self.states[movers] = action.target
+            edge = (
+                self.state_names[edge_from],
+                self.state_names[action.target],
+            )
+            transitions[edge] = transitions.get(edge, 0) + len(movers)
+
+        self.period += 1
+        self.last_transitions = transitions
+        return transitions
+
+    def _execute(
+        self,
+        action: _Compiled,
+        actors: np.ndarray,
+        snapshot: np.ndarray,
+        alive: np.ndarray,
+        moved: np.ndarray,
+        members: Callable[[int], np.ndarray],
+    ) -> Tuple[np.ndarray, int]:
+        """Run one action's sampling and return (movers, from_state)."""
+        failure = self.connection_failure_rate
+        if action.kind == "flip":
+            return actors, action.edge_from
+
+        if action.kind in ("sample", "tokenize"):
+            width = len(action.required)
+            if width == 0:
+                fired = actors
+            else:
+                targets = sample_other(self._rng, self.n, actors, width)
+                self.total_messages += targets.size
+                ok = alive[targets] & (snapshot[targets] == action.required[None, :])
+                if failure > 0.0:
+                    ok &= self._rng.random(targets.shape) >= failure
+                fired = actors[ok.all(axis=1)]
+            if action.kind == "sample":
+                return fired, action.edge_from
+            return self._deliver_tokens(action, len(fired), snapshot, alive, moved, members)
+
+        if action.kind == "anyof":
+            targets = sample_other(self._rng, self.n, actors, action.fanout)
+            self.total_messages += targets.size
+            ok = alive[targets] & (snapshot[targets] == action.match)
+            if failure > 0.0:
+                ok &= self._rng.random(targets.shape) >= failure
+            return actors[ok.any(axis=1)], action.edge_from
+
+        if action.kind == "push":
+            targets = sample_other(self._rng, self.n, actors, action.fanout)
+            self.total_messages += targets.size
+            ok = alive[targets] & (snapshot[targets] == action.match)
+            if failure > 0.0:
+                ok &= self._rng.random(targets.shape) >= failure
+            converted = np.unique(targets[ok])
+            return converted, action.edge_from
+
+        raise AssertionError(f"unknown compiled kind {action.kind}")
+
+    def _deliver_tokens(
+        self,
+        action: _Compiled,
+        token_count: int,
+        snapshot: np.ndarray,
+        alive: np.ndarray,
+        moved: np.ndarray,
+        members: Callable[[int], np.ndarray],
+    ) -> Tuple[np.ndarray, int]:
+        """Route fired tokens to processes in the token state.
+
+        Oracle mode (ttl=None): every token reaches a distinct target
+        while targets remain (excess tokens are dropped, as the paper
+        specifies when "no processes in the system are in state x").
+        TTL mode: each token independently survives a ``ttl``-hop
+        random walk with success probability ``1 - (1 - x_frac)^ttl``.
+        """
+        if token_count == 0:
+            return np.empty(0, dtype=np.int64), action.edge_from
+        pool = members(action.token_state)
+        pool = pool[~moved[pool]]
+        if len(pool) == 0:
+            return np.empty(0, dtype=np.int64), action.edge_from
+        if action.ttl is not None:
+            alive_total = int(alive.sum())
+            fraction = len(pool) / alive_total if alive_total else 0.0
+            reach = 1.0 - (1.0 - fraction) ** action.ttl
+            token_count = self._rng.binomial(token_count, reach)
+            if token_count == 0:
+                return np.empty(0, dtype=np.int64), action.edge_from
+        take = min(token_count, len(pool))
+        movers = self._rng.choice(pool, size=take, replace=False)
+        return movers, action.edge_from
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        periods: int,
+        recorder: Optional[MetricsRecorder] = None,
+        hooks: Iterable[Hook] = (),
+        record_initial: bool = True,
+    ) -> RunResult:
+        """Run ``periods`` rounds, applying hooks before each round.
+
+        Hooks are callables ``hook(engine)``; failure injectors and
+        churn replayers from :mod:`repro.runtime.failures` /
+        :mod:`repro.runtime.churn` plug in here.
+        """
+        if recorder is None:
+            recorder = MetricsRecorder(self.state_names)
+        hooks = list(hooks)
+        if record_initial and self.period == 0:
+            self._record(recorder)
+        for _ in range(periods):
+            for hook in hooks:
+                hook(self)
+            self.step()
+            self._record(recorder)
+        return RunResult(engine=self, recorder=recorder)
+
+    def _record(self, recorder: MetricsRecorder) -> None:
+        members = None
+        if recorder.member_log_state is not None:
+            if self.period % recorder.stride == 0:
+                members = self.members_in(recorder.member_log_state)
+        recorder.record(
+            self.period,
+            self.counts(),
+            self.alive_count(),
+            transitions=self.last_transitions,
+            members=members,
+        )

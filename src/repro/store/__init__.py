@@ -1,0 +1,20 @@
+"""Example applications built on the synthesized protocols.
+
+* :class:`~repro.store.filestore.MigratoryFileStore` -- a persistent
+  file store using endemic replication for replica location (the
+  paper's motivating application, Section 4.1).
+* :class:`~repro.store.majority_service.MajorityService` -- a
+  LOCKSS-style repeated majority-polling service on the LV protocol
+  (Section 4.2).
+"""
+
+from .filestore import FetchResult, MigratoryFileStore, StoredFile
+from .majority_service import MajorityService, PollRecord
+
+__all__ = [
+    "MigratoryFileStore",
+    "StoredFile",
+    "FetchResult",
+    "MajorityService",
+    "PollRecord",
+]

@@ -1,0 +1,260 @@
+"""A migratory replicated file store built on endemic replication.
+
+The paper positions endemic replication as the replica-*location* layer
+of a persistent distributed file system ("a concept similar to the
+eternity storage service"): every file runs its own endemic protocol
+instance on its behalf, and at any time the file's replicas live
+exactly on the processes in the *stash* state of that instance.
+
+:class:`MigratoryFileStore` packages that design: files share one host
+population (and one failure/churn schedule) but each file has an
+independent :class:`~repro.runtime.round_engine.RoundEngine`.  The
+store exposes insert/locate/fetch operations, per-file safety and flux
+accounting, and the Section 5.1 bandwidth bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..protocols.endemic import (
+    AVERSE,
+    RECEPTIVE,
+    STASH,
+    EndemicParams,
+    figure1_protocol,
+)
+from ..runtime.metrics import MetricsRecorder
+from ..runtime.round_engine import RoundEngine
+
+
+@dataclass
+class StoredFile:
+    """Bookkeeping for one file's endemic instance."""
+
+    name: str
+    size_bytes: float
+    engine: RoundEngine
+    recorder: MetricsRecorder
+    inserted_period: int
+    transfers: int = 0
+    lost_at_period: Optional[int] = None
+
+    @property
+    def lost(self) -> bool:
+        return self.lost_at_period is not None
+
+
+@dataclass
+class FetchResult:
+    """Outcome of a fetch: where the file was found and the probe cost."""
+
+    name: str
+    found: bool
+    probes: int
+    replica_host: Optional[int]
+
+
+class MigratoryFileStore:
+    """A persistent file store with endemic (migratory) replica location.
+
+    Parameters
+    ----------
+    n:
+        Host population size.
+    params:
+        Endemic protocol parameters shared by all files (per-file
+        parameters are possible via :meth:`insert`'s override).
+    period_seconds:
+        Wall-clock length of a protocol period (bandwidth accounting).
+    seed:
+        Base seed; per-file engines derive independent streams.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        params: EndemicParams,
+        *,
+        period_seconds: float = 360.0,
+        seed: Optional[int] = None,
+    ):
+        if n < 2:
+            raise ValueError(f"need at least 2 hosts, got {n}")
+        self.n = n
+        self.params = params
+        self.period_seconds = period_seconds
+        self._seed = seed if seed is not None else 0
+        self.period = 0
+        self.files: Dict[str, StoredFile] = {}
+        self._fetch_rng = np.random.Generator(np.random.MT19937(self._seed ^ 0x5EED))
+        self._down_hosts: set = set()
+
+    # ------------------------------------------------------------------
+    # File lifecycle
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        name: str,
+        size_bytes: float = 88.2e3,
+        initial_replicas: int = 1,
+        params: Optional[EndemicParams] = None,
+    ) -> StoredFile:
+        """Insert a file: seed ``initial_replicas`` stashers.
+
+        A single initial stasher suffices: the trivial equilibrium is a
+        saddle (Theorem 3 corollary), so "inclusion of even a single
+        stasher will drive the system towards the second, more stable
+        equilibrium".
+        """
+        if name in self.files:
+            raise ValueError(f"file {name!r} already stored")
+        if not 1 <= initial_replicas <= self.n:
+            raise ValueError(f"initial replicas must lie in [1, {self.n}]")
+        file_params = params or self.params
+        spec = figure1_protocol(file_params)
+        engine = RoundEngine(
+            spec,
+            n=self.n,
+            initial={
+                RECEPTIVE: self.n - initial_replicas,
+                STASH: initial_replicas,
+                AVERSE: 0,
+            },
+            seed=self._seed + len(self.files) * 7919 + 1,
+        )
+        # Keep host availability consistent with the store's view.
+        if self._down_hosts:
+            engine.crash(np.fromiter(self._down_hosts, dtype=np.int64))
+        recorder = MetricsRecorder(spec.states)
+        stored = StoredFile(
+            name=name,
+            size_bytes=size_bytes,
+            engine=engine,
+            recorder=recorder,
+            inserted_period=self.period,
+        )
+        self.files[name] = stored
+        return stored
+
+    def remove(self, name: str) -> None:
+        """Drop a file from the store (administrative delete)."""
+        del self.files[name]
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def tick(self, periods: int = 1) -> None:
+        """Advance every file's protocol by ``periods`` rounds."""
+        for _ in range(periods):
+            self.period += 1
+            for stored in self.files.values():
+                engine = stored.engine
+                engine.step()
+                stored.recorder.record(
+                    self.period,
+                    engine.counts(),
+                    engine.alive_count(),
+                    transitions=engine.last_transitions,
+                )
+                stored.transfers += engine.last_transitions.get(
+                    (RECEPTIVE, STASH), 0
+                )
+                if (
+                    stored.lost_at_period is None
+                    and engine.counts()[STASH] == 0
+                ):
+                    stored.lost_at_period = self.period
+
+    # ------------------------------------------------------------------
+    # Host availability (applies to every file's engine)
+    # ------------------------------------------------------------------
+    def crash_hosts(self, hosts: Iterable[int]) -> None:
+        """Crash hosts across all files (replicas on them are lost)."""
+        host_array = np.fromiter((int(h) for h in hosts), dtype=np.int64)
+        self._down_hosts.update(host_array.tolist())
+        for stored in self.files.values():
+            stored.engine.crash(host_array)
+
+    def crash_random_fraction(self, fraction: float) -> np.ndarray:
+        """Crash a uniform random fraction of currently-up hosts."""
+        up = np.array(
+            [h for h in range(self.n) if h not in self._down_hosts],
+            dtype=np.int64,
+        )
+        count = int(round(fraction * len(up)))
+        victims = self._fetch_rng.choice(up, size=count, replace=False)
+        self.crash_hosts(victims.tolist())
+        return victims
+
+    def recover_hosts(self, hosts: Iterable[int]) -> None:
+        """Hosts rejoin receptive toward every file (no startup copies)."""
+        host_array = np.fromiter((int(h) for h in hosts), dtype=np.int64)
+        self._down_hosts.difference_update(host_array.tolist())
+        for stored in self.files.values():
+            stored.engine.recover(host_array, state=RECEPTIVE)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def locate(self, name: str) -> np.ndarray:
+        """Current replica holders (stashers) of a file."""
+        return self.files[name].engine.members_in(STASH)
+
+    def fetch(self, name: str, max_probes: Optional[int] = None) -> FetchResult:
+        """Client fetch by random probing (no directory).
+
+        Contacts uniformly random hosts until one holds a replica; the
+        expected probe count is ``n / stashers``.  A directory-less
+        fetch is the honest cost model for a protocol whose *point* is
+        that replica locations are untraceable.
+        """
+        stored = self.files[name]
+        engine = stored.engine
+        stash_id = engine.state_id(STASH)
+        if max_probes is None:
+            max_probes = 50 * self.n // max(1, len(self.locate(name)) or 1)
+        probes = 0
+        for _ in range(max_probes):
+            probes += 1
+            host = int(self._fetch_rng.integers(0, self.n))
+            if engine.alive[host] and engine.states[host] == stash_id:
+                return FetchResult(name, True, probes, host)
+        return FetchResult(name, False, probes, None)
+
+    def replica_count(self, name: str) -> int:
+        return int(len(self.locate(name)))
+
+    def lost_files(self) -> List[str]:
+        return [name for name, f in self.files.items() if f.lost]
+
+    # ------------------------------------------------------------------
+    # Accounting (Section 5.1 reality check)
+    # ------------------------------------------------------------------
+    def bandwidth_bps_per_host(self, name: str, window_periods: int = 100) -> float:
+        """Measured steady-state transfer bandwidth, bits/s/host.
+
+        Counts receptive->stash transfers (each moves the file once:
+        one send + one receive across the population) over the last
+        ``window_periods`` recorded periods.
+        """
+        stored = self.files[name]
+        series = stored.recorder.transition_series((RECEPTIVE, STASH))
+        if len(series) == 0:
+            return 0.0
+        window = series[-window_periods:]
+        transfers_per_period = float(np.mean(window))
+        bytes_per_second = (
+            transfers_per_period * stored.size_bytes / self.period_seconds
+        )
+        return 2.0 * 8.0 * bytes_per_second / self.n
+
+    def storage_load(self) -> np.ndarray:
+        """Bytes currently stored per host, across all files."""
+        load = np.zeros(self.n)
+        for stored in self.files.values():
+            load[self.locate(stored.name)] += stored.size_bytes
+        return load

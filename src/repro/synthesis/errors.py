@@ -1,0 +1,44 @@
+"""Errors raised by the protocol synthesizer."""
+
+from __future__ import annotations
+
+
+class SynthesisError(ValueError):
+    """Base class for all synthesis failures."""
+
+
+class NotCompleteError(SynthesisError):
+    """The equation system does not conserve total mass.
+
+    Fix: apply :func:`repro.odes.rewrite.make_complete` first (the
+    paper's completion rewrite, Section 7).
+    """
+
+
+class NotPartitionableError(SynthesisError):
+    """Terms cannot be grouped into ``(+T, -T)`` pairs.
+
+    Fix: try :func:`repro.odes.rewrite.split_for_partition` (term
+    splitting), or rewrite the equations (Section 7).
+    """
+
+
+class NotRestrictedError(SynthesisError):
+    """A negative term of ``f_x`` has no factor of ``x``.
+
+    Such terms need Tokenizing (Section 6); synthesize with
+    ``tokenize=True`` or rewrite with
+    :func:`repro.odes.rewrite.to_restricted` first.
+    """
+
+
+class ConstantTermError(SynthesisError):
+    """A bare constant term cannot be mapped directly.
+
+    Fix: apply :func:`repro.odes.rewrite.expand_constants`, which
+    rewrites ``+/- c`` as ``+/- c * sum(v)`` (Section 6).
+    """
+
+
+class NormalizationError(SynthesisError):
+    """No normalizing constant ``p`` can make all coin biases <= 1."""

@@ -1,0 +1,5 @@
+"""Terminal visualization helpers (ASCII plots for examples/benches)."""
+
+from .ascii_plot import histogram, render, render_scatter, render_series
+
+__all__ = ["render", "render_series", "render_scatter", "histogram"]

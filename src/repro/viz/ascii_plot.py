@@ -1,0 +1,137 @@
+"""Terminal plotting: ASCII renditions of the paper's figures.
+
+No plotting library is available offline, so examples and benchmark
+harnesses render time series and scatter plots (phase portraits, the
+Figure 8 stasher scatter) directly to text.  Output is deliberately in
+the spirit of the paper's gnuplot figures: axes, ticks, multiple
+labeled series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Characters used for successive series.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def _canvas(width: int, height: int) -> List[List[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _scale(
+    values: np.ndarray, lo: float, hi: float, size: int
+) -> np.ndarray:
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    scaled = (values - lo) / (hi - lo) * (size - 1)
+    return np.clip(np.round(scaled).astype(int), 0, size - 1)
+
+
+def render(
+    series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    x_range: Optional[Tuple[float, float]] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render labeled ``{name: (xs, ys)}`` series onto one ASCII plot."""
+    if not series:
+        raise ValueError("no series to plot")
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if x_range is None:
+        x_range = (float(xs_all.min()), float(xs_all.max()))
+    if y_range is None:
+        lo, hi = float(ys_all.min()), float(ys_all.max())
+        pad = 0.05 * (hi - lo or 1.0)
+        y_range = (lo - pad, hi + pad)
+
+    canvas = _canvas(width, height)
+    legend = []
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+        legend.append(f"{marker}={name}")
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        cols = _scale(xs, x_range[0], x_range[1], width)
+        rows = _scale(ys, y_range[0], y_range[1], height)
+        for col, row in zip(cols, rows):
+            canvas[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_label = f"{y_range[1]:.6g}"
+    bottom_label = f"{y_range[0]:.6g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = (
+        f"{x_range[0]:.6g}".ljust(width // 2)
+        + f"{x_range[1]:.6g}".rjust(width - width // 2)
+    )
+    lines.append(" " * (gutter + 1) + x_axis)
+    footer = "  ".join(legend)
+    if xlabel or ylabel:
+        footer += f"   [{xlabel} vs {ylabel}]" if ylabel else f"   [{xlabel}]"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_series(
+    times: Sequence[float],
+    named_values: Mapping[str, Sequence[float]],
+    **kwargs,
+) -> str:
+    """Convenience wrapper: several y-series over one shared x-axis."""
+    return render(
+        {name: (times, values) for name, values in named_values.items()},
+        **kwargs,
+    )
+
+
+def render_scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    name: str = "points",
+    **kwargs,
+) -> str:
+    """Scatter plot of one point set (e.g. Figure 8's stasher log)."""
+    return render({name: (xs, ys)}, **kwargs)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal ASCII histogram (load-balance visualizations)."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("no values")
+    counts, edges = np.histogram(array, bins=bins)
+    peak = counts.max() or 1
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(
+            f"[{edges[i]:>10.4g}, {edges[i+1]:>10.4g}) "
+            f"{bar} {count}"
+        )
+    return "\n".join(lines)

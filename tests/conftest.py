@@ -1,0 +1,45 @@
+"""Shared fixtures: canonical systems, parameters and quick engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.odes import library
+from repro.protocols.endemic import EndemicParams
+
+
+@pytest.fixture
+def epidemic_system():
+    """Equation (0): the motivating pull epidemic."""
+    return library.epidemic()
+
+
+@pytest.fixture
+def endemic_system():
+    """Equation (1) with the Figure 2 parameters."""
+    return library.endemic(alpha=0.01, gamma=1.0, beta=4.0)
+
+
+@pytest.fixture
+def lv_system():
+    """Equation (7): the mappable LV competition system."""
+    return library.lv()
+
+
+@pytest.fixture
+def fig2_params():
+    """Figure 2's endemic configuration (stable spiral)."""
+    return EndemicParams(alpha=0.01, gamma=1.0, b=2)
+
+
+@pytest.fixture
+def fig7_params():
+    """Figure 7's endemic configuration."""
+    return EndemicParams(alpha=0.001, gamma=0.1, b=2)
+
+
+@pytest.fixture
+def fig8_params():
+    """Figure 8's configuration, with alpha=0.01 (see DESIGN.md:
+    the printed alpha=0.001 contradicts the stated 88.63 stashers)."""
+    return EndemicParams(alpha=0.01, gamma=0.1, b=2)

@@ -1,0 +1,70 @@
+"""Tests for ASCII plotting (repro.viz.ascii_plot)."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii_plot import histogram, render, render_scatter, render_series
+
+
+class TestRender:
+    def test_all_markers_present(self):
+        text = render(
+            {"one": ([0, 1, 2], [0, 1, 2]), "two": ([0, 1, 2], [2, 1, 0])}
+        )
+        assert "o" in text and "x" in text
+        assert "o=one" in text and "x=two" in text
+
+    def test_title_and_ranges(self):
+        text = render(
+            {"s": ([0, 10], [5, 15])}, title="My Plot",
+        )
+        assert "My Plot" in text
+        assert "10" in text  # x-axis label
+
+    def test_explicit_ranges_clip(self):
+        text = render(
+            {"s": ([0, 1], [0, 100])}, y_range=(0, 10), width=20, height=5,
+        )
+        assert text  # no crash; values clipped into the canvas
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render({})
+
+    def test_flat_series_handled(self):
+        text = render({"flat": ([0, 1, 2], [5, 5, 5])})
+        assert "flat" in text
+
+
+class TestHelpers:
+    def test_render_series_shared_axis(self):
+        times = np.arange(10)
+        text = render_series(
+            times, {"a": times * 2, "b": times * 3}, width=40, height=8
+        )
+        assert "o=a" in text and "x=b" in text
+
+    def test_render_scatter(self):
+        text = render_scatter([1, 2, 3], [3, 1, 2], name="hosts")
+        assert "o=hosts" in text
+
+    def test_dimensions_respected(self):
+        text = render({"s": ([0, 1], [0, 1])}, width=30, height=7)
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_lines) == 7
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        text = histogram([1] * 10 + [2] * 5, bins=2, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert 0 < lines[1].count("#") <= 10
+
+    def test_title(self):
+        text = histogram([1, 2, 3], bins=3, title="loads")
+        assert text.startswith("loads")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])

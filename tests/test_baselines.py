@@ -1,0 +1,121 @@
+"""Tests for the baseline replica strategies (repro.protocols.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.baselines import SimpleHandoff, StaticReplication
+from repro.runtime import CrashRecoveryNoise, DirectedAttack
+
+
+class TestStaticReplication:
+    def test_initial_placement(self):
+        static = StaticReplication(n=100, k=10, seed=0)
+        assert static.replica_count() == 10
+
+    def test_no_failures_no_change(self):
+        static = StaticReplication(n=100, k=10, seed=0)
+        before = set(static.members_in("replica").tolist())
+        static.run(50)
+        assert set(static.members_in("replica").tolist()) == before
+
+    def test_reactive_repair(self):
+        static = StaticReplication(n=200, k=10, repair_delay=3, seed=1)
+        victims = static.members_in("replica")[:4]
+        static.crash(victims)
+        result = static.run(20)
+        assert result.survived
+        assert static.replica_count() == 10
+        assert static.repairs_done == 4
+
+    def test_total_wipeout_is_fatal(self):
+        static = StaticReplication(n=100, k=5, repair_delay=2, seed=2)
+        static.crash(static.members_in("replica"))
+        result = static.run(50)
+        assert not result.survived
+        assert result.lost_at_period is not None
+
+    def test_directed_attack_kills_static(self):
+        static = StaticReplication(n=500, k=10, repair_delay=10, seed=3)
+        attack = DirectedAttack(
+            target_state="replica", snapshot_interval=5, strike_delay=2
+        )
+        result = static.run(100, hooks=[attack])
+        assert not result.survived
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            StaticReplication(n=10, k=0)
+        with pytest.raises(ValueError):
+            StaticReplication(n=10, k=11)
+
+
+class TestSimpleHandoff:
+    def test_lossless_network_keeps_replicas(self):
+        handoff = SimpleHandoff(n=200, k=10, seed=4)
+        result = handoff.run(100)
+        assert result.survived
+        assert handoff.replica_count() == 10
+
+    def test_transfer_failures_destroy_replicas(self):
+        handoff = SimpleHandoff(
+            n=200, k=10, transfer_failure_rate=0.2, seed=5
+        )
+        result = handoff.run(500)
+        assert not result.survived
+        # Expected lifetime per replica ~ 1/0.2 = 5 handoffs.
+        assert result.lost_at_period < 200
+
+    def test_crash_noise_destroys_replicas(self):
+        handoff = SimpleHandoff(n=300, k=10, seed=6)
+        noise = CrashRecoveryNoise(crash_rate=0.01, recovery_rate=0.05, seed=7)
+        result = handoff.run(3000, hooks=[noise])
+        assert not result.survived
+
+    def test_replica_count_never_grows(self):
+        handoff = SimpleHandoff(
+            n=100, k=8, transfer_failure_rate=0.1, seed=8
+        )
+        counts = [handoff.replica_count()]
+        for _ in range(50):
+            handoff.step()
+            handoff.period += 1
+            counts.append(handoff.replica_count())
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+    def test_handoff_interval(self):
+        handoff = SimpleHandoff(n=100, k=5, handoff_interval=10, seed=9)
+        handoff.run(5)
+        assert handoff.transfers == 0
+        handoff.run(10)
+        assert handoff.transfers > 0
+
+
+class TestEndemicOutlivesBaselines:
+    def test_comparison_under_attack(self, fig8_params):
+        """The BASE bench's claim in miniature: the same bounded
+        attacker destroys static replication on its first strike but
+        the endemic object survives (replicas have migrated away and
+        new stashers were created meanwhile)."""
+        from repro.protocols.endemic import figure1_protocol
+        from repro.runtime import RoundEngine
+
+        n = 2000
+        attack_args = dict(
+            snapshot_interval=50, strike_delay=15, max_strikes=4
+        )
+
+        static = StaticReplication(n=n, k=30, repair_delay=5, seed=10)
+        static_result = static.run(
+            600, hooks=[DirectedAttack(target_state="replica", **attack_args)]
+        )
+
+        spec = figure1_protocol(fig8_params)
+        engine = RoundEngine(
+            spec, n=n, initial=fig8_params.equilibrium_counts(n), seed=10
+        )
+        engine.run(
+            600, hooks=[DirectedAttack(target_state="y", **attack_args)]
+        )
+
+        assert not static_result.survived
+        assert engine.counts()["y"] > 0

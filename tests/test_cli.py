@@ -1,0 +1,116 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def equations_file(tmp_path):
+    path = tmp_path / "endemic.txt"
+    path.write_text(
+        "x' = -beta*x*y + alpha*z\n"
+        "y' =  beta*x*y - gamma*y\n"
+        "z' =  gamma*y  - alpha*z\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def raw_lv_file(tmp_path):
+    path = tmp_path / "lv.txt"
+    path.write_text(
+        "x' = 3*x - 3*x^2 - 6*x*y\n"
+        "y' = 3*y - 3*y^2 - 6*x*y\n"
+    )
+    return str(path)
+
+
+PARAMS = ["--param", "beta=4", "--param", "gamma=1.0", "--param", "alpha=0.01"]
+
+
+class TestClassify:
+    def test_classify_output(self, equations_file, capsys):
+        assert main(["classify", equations_file, *PARAMS]) == 0
+        out = capsys.readouterr().out
+        assert "flip+sample" in out
+        assert "complete" in out
+
+    def test_unbound_symbol_fails(self, equations_file):
+        with pytest.raises(Exception):
+            main(["classify", equations_file])
+
+    def test_bad_param_format(self, equations_file):
+        with pytest.raises(SystemExit):
+            main(["classify", equations_file, "--param", "beta"])
+
+
+class TestSynthesize:
+    def test_synthesize_output(self, equations_file, capsys):
+        assert main(["synthesize", equations_file, *PARAMS]) == 0
+        out = capsys.readouterr().out
+        assert "protocol" in out
+        assert "message complexity" in out
+
+    def test_explicit_p(self, equations_file, capsys):
+        assert main(["synthesize", equations_file, *PARAMS, "--p", "0.2"]) == 0
+        assert "p = 0.2" in capsys.readouterr().out
+
+    def test_auto_rewrite_applied(self, raw_lv_file, capsys):
+        assert main(["synthesize", raw_lv_file]) == 0
+        out = capsys.readouterr().out
+        assert "state z" in out  # slack variable appeared
+
+    def test_no_rewrite_fails_on_raw(self, raw_lv_file, capsys):
+        assert main(["synthesize", raw_lv_file, "--no-rewrite"]) == 1
+        assert "failed" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_simulate_runs(self, equations_file, capsys):
+        code = main([
+            "simulate", equations_file,
+            "--param", "beta=0.4", "--param", "gamma=0.1",
+            "--param", "alpha=0.01",
+            "--n", "2000", "--periods", "100", "--seed", "1",
+            "--initial", "x=1999", "--initial", "y=1", "--initial", "z=0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "after 100 periods" in out
+
+    def test_simulate_default_initial(self, equations_file, capsys):
+        code = main([
+            "simulate", equations_file,
+            "--param", "beta=0.4", "--param", "gamma=0.1",
+            "--param", "alpha=0.01",
+            "--n", "500", "--periods", "20", "--seed", "2",
+        ])
+        assert code == 0
+
+    def test_plot_flag(self, equations_file, capsys):
+        code = main([
+            "simulate", equations_file,
+            "--param", "beta=0.4", "--param", "gamma=0.1",
+            "--param", "alpha=0.01",
+            "--n", "500", "--periods", "20", "--seed", "3", "--plot",
+        ])
+        assert code == 0
+        assert "|" in capsys.readouterr().out  # plot axis rendered
+
+
+class TestAnalyze:
+    def test_analyze_lists_equilibria(self, equations_file, capsys):
+        assert main(["analyze", equations_file, *PARAMS]) == 0
+        out = capsys.readouterr().out
+        assert "stable spiral" in out
+        assert "saddle point" in out
+
+    def test_analyze_with_trajectory(self, equations_file, capsys):
+        code = main([
+            "analyze", equations_file, *PARAMS, "--trajectory",
+            "--initial", "x=0.9", "--initial", "y=0.1", "--initial", "z=0",
+            "--t-end", "30",
+        ])
+        assert code == 0
+        assert "trajectory" in capsys.readouterr().out

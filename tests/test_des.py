@@ -1,0 +1,201 @@
+"""Tests for the DES kernel (repro.runtime.des)."""
+
+import pytest
+
+from repro.runtime.des import Environment, Interrupted
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.spawn(proc(env))
+        env.run()
+        assert log == [2.5]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_timeout_value_passed(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            value = yield env.timeout(1.0, "payload")
+            got.append(value)
+
+        env.spawn(proc(env))
+        env.run()
+        assert got == ["payload"]
+
+    def test_run_until_stops_clock(self):
+        env = Environment()
+
+        def ticker(env):
+            while True:
+                yield env.timeout(1.0)
+
+        env.spawn(ticker(env))
+        assert env.run(until=5.5) == 5.5
+        assert env.now == 5.5
+
+    def test_interleaving(self):
+        env = Environment()
+        log = []
+
+        def proc(env, name, period):
+            for _ in range(3):
+                yield env.timeout(period)
+                log.append((env.now, name))
+
+        env.spawn(proc(env, "fast", 1.0))
+        env.spawn(proc(env, "slow", 1.5))
+        env.run()
+        # At the t=3.0 tie, "slow" scheduled its timeout first (at
+        # t=1.5 vs t=2.0), so FIFO ordering runs it first.
+        assert log == [
+            (1.0, "fast"), (1.5, "slow"), (2.0, "fast"),
+            (3.0, "slow"), (3.0, "fast"), (4.5, "slow"),
+        ]
+
+
+class TestProcesses:
+    def test_completion_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        process = env.spawn(proc(env))
+        env.run()
+        assert process.completion.value == "done"
+        assert not process.alive
+
+    def test_waiting_on_custom_event(self):
+        env = Environment()
+        gate = env.event()
+        log = []
+
+        def waiter(env):
+            value = yield gate
+            log.append((env.now, value))
+
+        def opener(env):
+            yield env.timeout(3.0)
+            gate.succeed("open")
+
+        env.spawn(waiter(env))
+        env.spawn(opener(env))
+        env.run()
+        assert log == [(3.0, "open")]
+
+    def test_failed_event_raises_into_process(self):
+        env = Environment()
+        gate = env.event()
+        caught = []
+
+        def waiter(env):
+            try:
+                yield gate
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.spawn(waiter(env))
+        env.schedule(1.0, lambda: gate.fail(RuntimeError("nope")))
+        env.run()
+        assert caught == ["nope"]
+
+    def test_invalid_yield_type(self):
+        env = Environment()
+
+        def proc(env):
+            yield 123
+
+        env.spawn(proc(env))
+        with pytest.raises(TypeError):
+            env.run()
+
+    def test_schedule_bare_callback(self):
+        env = Environment()
+        hits = []
+        env.schedule(2.0, lambda: hits.append(env.now))
+        env.run()
+        assert hits == [2.0]
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupted as interruption:
+                log.append((env.now, interruption.cause))
+
+        process = env.spawn(sleeper(env))
+        env.schedule(1.0, lambda: process.interrupt("crash"))
+        env.run(until=10.0)
+        assert log == [(1.0, "crash")]
+
+    def test_unhandled_interrupt_kills_process(self):
+        env = Environment()
+
+        def sleeper(env):
+            yield env.timeout(100.0)
+
+        process = env.spawn(sleeper(env))
+        env.schedule(1.0, lambda: process.interrupt())
+        env.run(until=10.0)
+        assert not process.alive
+
+    def test_interrupt_dead_process_noop(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.5)
+
+        process = env.spawn(quick(env))
+        env.run()
+        process.interrupt()  # must not raise
+
+    def test_stale_timeout_ignored_after_interrupt(self):
+        env = Environment()
+        wakeups = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(2.0)
+                wakeups.append("timeout")
+            except Interrupted:
+                wakeups.append("interrupt")
+                yield env.timeout(5.0)
+                wakeups.append("second sleep")
+
+        process = env.spawn(sleeper(env))
+        env.schedule(1.0, lambda: process.interrupt())
+        env.run()
+        # The original timeout at t=2 must not wake the process again.
+        assert wakeups == ["interrupt", "second sleep"]
+
+
+class TestRunawayGuard:
+    def test_max_events(self):
+        env = Environment()
+
+        def spinner(env):
+            while True:
+                yield None
+
+        env.spawn(spinner(env))
+        with pytest.raises(RuntimeError, match="runaway"):
+            env.run(max_events=1000)

@@ -1,0 +1,87 @@
+"""Tests for epidemic protocols (repro.protocols.epidemic)."""
+
+import math
+
+import pytest
+
+from repro.protocols.epidemic import (
+    measure_spread,
+    pull_protocol,
+    push_protocol,
+    push_pull_protocol,
+    theoretical_rounds,
+)
+from repro.runtime import RoundEngine
+
+
+class TestProtocolShapes:
+    def test_pull_is_canonical(self):
+        spec = pull_protocol()
+        assert len(spec.actions) == 1
+        action = spec.actions[0]
+        assert action.actor_state == "x"
+        assert action.required_states == ("y",)
+        assert spec.verify_equivalence()
+
+    def test_push_has_push_action(self):
+        spec = push_protocol()
+        assert spec.actions[0].kind == "PushAction"
+        assert not spec.exact_mean_field
+
+    def test_push_pull_combines(self):
+        spec = push_pull_protocol()
+        assert len(spec.actions) == 2
+
+
+class TestSpread:
+    def test_pull_completes(self):
+        result = measure_spread(pull_protocol(), n=2000, seed=0)
+        assert result.completed
+        assert result.final_susceptible <= 1
+
+    def test_push_completes(self):
+        result = measure_spread(push_protocol(), n=2000, seed=1)
+        assert result.completed
+
+    def test_push_pull_faster_than_pull(self):
+        pull = measure_spread(pull_protocol(), n=4000, seed=2)
+        both = measure_spread(push_pull_protocol(), n=4000, seed=2)
+        assert both.rounds_to_threshold <= pull.rounds_to_threshold
+
+    def test_log_scaling(self):
+        # Doubling n four times adds roughly a constant per doubling.
+        rounds = [
+            measure_spread(pull_protocol(), n=n, seed=3).rounds_to_threshold
+            for n in (1000, 4000, 16000)
+        ]
+        increments = [b - a for a, b in zip(rounds, rounds[1:])]
+        # Theory: 2*ln(4) ~ 2.8 rounds per quadrupling.
+        for inc in increments:
+            assert 0 <= inc <= 8
+
+    def test_matches_theory_within_band(self):
+        n = 8000
+        result = measure_spread(pull_protocol(), n=n, seed=4)
+        assert result.rounds_to_threshold == pytest.approx(
+            theoretical_rounds(n), rel=0.35
+        )
+
+    def test_zero_infectives_never_completes(self):
+        result = measure_spread(
+            pull_protocol(), n=100, initial_infected=0, max_rounds=20, seed=5
+        )
+        assert not result.completed
+        assert result.final_susceptible == 100
+
+
+class TestTheory:
+    def test_theoretical_rounds_formula(self):
+        assert theoretical_rounds(1001) == pytest.approx(2 * math.log(1000))
+
+    def test_rate_scales_inverse(self):
+        assert theoretical_rounds(1000, rate=2.0) == pytest.approx(
+            theoretical_rounds(1000) / 2
+        )
+
+    def test_tiny_groups(self):
+        assert theoretical_rounds(2) == 0.0

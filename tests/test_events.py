@@ -1,0 +1,81 @@
+"""Tests for the event primitives (repro.runtime.events)."""
+
+import pytest
+
+from repro.runtime.events import Event, EventAlreadySettled, EventQueue
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self):
+        event = Event()
+        event.succeed(42)
+        assert event.settled and event.ok
+        assert event.value == 42
+
+    def test_fail_raises_on_value(self):
+        event = Event()
+        event.fail(RuntimeError("boom"))
+        assert event.settled and not event.ok
+        with pytest.raises(RuntimeError, match="boom"):
+            event.value
+
+    def test_value_before_settle_raises(self):
+        with pytest.raises(RuntimeError):
+            Event().value
+
+    def test_double_settle_rejected(self):
+        event = Event()
+        event.succeed(1)
+        with pytest.raises(EventAlreadySettled):
+            event.succeed(2)
+        with pytest.raises(EventAlreadySettled):
+            event.fail(RuntimeError())
+
+    def test_callbacks_fire_once_in_order(self):
+        event = Event()
+        calls = []
+        event.add_callback(lambda e: calls.append("a"))
+        event.add_callback(lambda e: calls.append("b"))
+        event.succeed()
+        assert calls == ["a", "b"]
+
+    def test_late_callback_fires_immediately(self):
+        event = Event()
+        event.succeed(7)
+        calls = []
+        event.add_callback(lambda e: calls.append(e.value))
+        assert calls == [7]
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        out = []
+        queue.push(3.0, lambda: out.append(3))
+        queue.push(1.0, lambda: out.append(1))
+        queue.push(2.0, lambda: out.append(2))
+        while queue:
+            _, callback = queue.pop()
+            callback()
+        assert out == [1, 2, 3]
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        out = []
+        for tag in ("first", "second", "third"):
+            queue.push(1.0, lambda t=tag: out.append(t))
+        while queue:
+            queue.pop()[1]()
+        assert out == ["first", "second", "third"]
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(5.0, lambda: None)
+        assert queue.peek_time() == 5.0
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push(1.0, lambda: None)
+        assert queue and len(queue) == 1

@@ -1,0 +1,42 @@
+"""Smoke tests for the example scripts.
+
+The quickstart is fast enough to run end to end in the unit suite; the
+heavier demos are exercised through their underlying APIs elsewhere,
+so here we only check they import cleanly and expose a main().
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_end_to_end(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "taxonomy" in out
+        assert "protocol" in out
+        assert "rounds to <=1 susceptible" in out
+        # The epidemic must have completed.
+        assert "{'x': 0, 'y': 10000}" in out
+
+
+class TestOtherExamplesImportable:
+    @pytest.mark.parametrize(
+        "name", ["endemic_filestore", "lv_majority", "custom_equations"]
+    )
+    def test_importable_with_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)

@@ -1,0 +1,138 @@
+"""Tests for failure injection hooks (repro.runtime.failures)."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.endemic import EndemicParams, figure1_protocol
+from repro.runtime import (
+    CrashRecoveryNoise,
+    DirectedAttack,
+    MassiveFailure,
+    RoundEngine,
+    ScheduledRecovery,
+)
+from repro.synthesis import FlipAction, ProtocolSpec
+
+
+def idle_spec():
+    return ProtocolSpec(
+        name="idle", states=("a", "b"),
+        actions=(FlipAction("a", 0.0, "b"),),
+    )
+
+
+class TestMassiveFailure:
+    def test_fires_once_at_period(self):
+        engine = RoundEngine(idle_spec(), n=100, initial={"a": 100}, seed=0)
+        failure = MassiveFailure(at_period=3, fraction=0.5)
+        engine.run(periods=10, hooks=[failure])
+        assert failure.fired
+        assert engine.alive_count() == 50
+        assert len(failure.victims) == 50
+
+    def test_does_not_fire_early(self):
+        engine = RoundEngine(idle_spec(), n=100, initial={"a": 100}, seed=0)
+        failure = MassiveFailure(at_period=5, fraction=0.5)
+        engine.run(periods=3, hooks=[failure])
+        assert not failure.fired
+        assert engine.alive_count() == 100
+
+    def test_figure5_shape(self, fig8_params):
+        # Stashers roughly halve; receptives stay put (effective b
+        # halves).  fig8 parameters (alpha=0.01) equilibrate within a
+        # few hundred periods, unlike Figure 5's alpha=1e-6 (the full
+        # timeline is exercised by the FIG5 bench).
+        spec = figure1_protocol(fig8_params)
+        n = 20000
+        engine = RoundEngine(spec, n=n, initial=fig8_params.equilibrium_counts(n), seed=1)
+        engine.run(periods=300)
+        before = engine.counts()
+        engine.run(periods=900, hooks=[MassiveFailure(at_period=300, fraction=0.5)])
+        after = engine.counts()
+        assert after["y"] == pytest.approx(before["y"] / 2, rel=0.3)
+        assert after["x"] == pytest.approx(before["x"], rel=0.3)
+
+
+class TestCrashRecoveryNoise:
+    def test_steady_state_availability(self):
+        engine = RoundEngine(idle_spec(), n=2000, initial={"a": 2000}, seed=2)
+        noise = CrashRecoveryNoise(crash_rate=0.01, recovery_rate=0.01, seed=3)
+        engine.run(periods=400, hooks=[noise])
+        # Detailed balance: about half the hosts up.
+        assert engine.alive_count() == pytest.approx(1000, rel=0.15)
+
+    def test_zero_rates_noop(self):
+        engine = RoundEngine(idle_spec(), n=100, initial={"a": 100}, seed=2)
+        noise = CrashRecoveryNoise(crash_rate=0.0, recovery_rate=0.0)
+        engine.run(periods=10, hooks=[noise])
+        assert engine.alive_count() == 100
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            CrashRecoveryNoise(crash_rate=1.0, recovery_rate=0.5)
+        with pytest.raises(ValueError):
+            CrashRecoveryNoise(crash_rate=0.5, recovery_rate=1.5)
+
+    def test_recovered_hosts_lose_state(self):
+        spec = ProtocolSpec(
+            name="idle2", states=("a", "b"),
+            actions=(FlipAction("a", 0.0, "b"),),
+        )
+        engine = RoundEngine(spec, n=100, initial={"b": 100}, seed=4)
+        engine.crash(np.arange(50))
+        noise = CrashRecoveryNoise(crash_rate=0.0, recovery_rate=1.0, seed=5)
+        engine.run(periods=1, hooks=[noise])
+        # All 50 recovered into state a (volatile state lost).
+        assert engine.counts()["a"] == 50
+
+
+class TestDirectedAttack:
+    def test_attack_kills_snapshot(self):
+        engine = RoundEngine(idle_spec(), n=100, initial={"a": 40, "b": 60}, seed=6)
+        attack = DirectedAttack(target_state="b", snapshot_interval=2, strike_delay=1)
+        engine.run(periods=10, hooks=[attack])
+        assert attack.kills > 0
+        assert engine.alive_count() < 100
+
+    def test_migration_evades_attack(self, fig8_params):
+        # Against the endemic protocol, many victims have already
+        # rotated out of the stash state by strike time.
+        spec = figure1_protocol(fig8_params)
+        n = 2000
+        engine = RoundEngine(spec, n=n, initial=fig8_params.equilibrium_counts(n), seed=7)
+        attack = DirectedAttack(target_state="y", snapshot_interval=25, strike_delay=20)
+        engine.run(periods=500, hooks=[attack])
+        assert attack.kills > 0
+        # The object survives: stashers regenerate.
+        assert engine.counts()["y"] > 0
+        assert attack.replica_hits < attack.kills
+
+    def test_static_target_fully_hit(self):
+        # Against a static placement every struck victim still holds
+        # a replica (they never move).
+        from repro.protocols.baselines import StaticReplication
+
+        static = StaticReplication(n=500, k=20, repair_delay=50, seed=8)
+        attack = DirectedAttack(target_state="replica", snapshot_interval=5, strike_delay=3)
+        result = static.run(50, hooks=[attack])
+        assert not result.survived
+        assert attack.replica_hits == pytest.approx(attack.kills, abs=2)
+
+
+class TestScheduledRecovery:
+    def test_recovers_fraction(self):
+        engine = RoundEngine(idle_spec(), n=100, initial={"a": 100}, seed=9)
+        engine.crash(np.arange(60))
+        recovery = ScheduledRecovery(at_period=2, fraction=0.5, seed=10)
+        engine.run(periods=5, hooks=[recovery])
+        assert recovery.fired
+        assert engine.alive_count() == 70
+
+    def test_fires_once(self):
+        engine = RoundEngine(idle_spec(), n=100, initial={"a": 100}, seed=9)
+        engine.crash(np.arange(40))
+        recovery = ScheduledRecovery(at_period=0, fraction=1.0)
+        engine.run(periods=3, hooks=[recovery])
+        engine.crash(np.arange(20))
+        engine.run(periods=3, hooks=[recovery])
+        assert engine.alive_count() == 80

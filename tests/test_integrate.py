@@ -1,0 +1,95 @@
+"""Tests for the mean-field integrator (repro.odes.integrate)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.odes import library
+from repro.odes.integrate import integrate, integrate_to_equilibrium
+from repro.odes.system import SystemError, build_system
+
+
+class TestBasicIntegration:
+    def test_linear_decay_exact(self):
+        system = build_system(
+            "decay", ["x", "y"],
+            {"x": [(-0.5, {"x": 1})], "y": [(0.5, {"x": 1})]},
+        )
+        traj = integrate(system, {"x": 1.0, "y": 0.0}, t_end=4.0)
+        assert traj.final["x"] == pytest.approx(math.exp(-2.0), rel=1e-6)
+
+    def test_epidemic_logistic_solution(self, epidemic_system):
+        # y' = y(1-y) from y0 has closed form y = 1/(1 + (1/y0 - 1)e^-t).
+        y0 = 0.01
+        traj = integrate(epidemic_system, {"x": 1 - y0, "y": y0}, t_end=10.0)
+        expected = 1.0 / (1.0 + (1.0 / y0 - 1.0) * math.exp(-10.0))
+        assert traj.final["y"] == pytest.approx(expected, rel=1e-5)
+
+    def test_mass_conserved(self, endemic_system):
+        traj = integrate(endemic_system, {"x": 0.9, "y": 0.1, "z": 0.0}, 200.0)
+        assert traj.mass_drift() < 1e-6
+
+    def test_missing_initial_variable_rejected(self, endemic_system):
+        with pytest.raises(SystemError):
+            integrate(endemic_system, {"x": 1.0}, 1.0)
+
+    def test_sample_count(self, epidemic_system):
+        traj = integrate(epidemic_system, {"x": 0.99, "y": 0.01}, 5.0, samples=123)
+        assert len(traj.times) == 123
+
+
+class TestTrajectoryQueries:
+    @pytest.fixture
+    def trajectory(self, epidemic_system):
+        return integrate(epidemic_system, {"x": 0.99, "y": 0.01}, 15.0)
+
+    def test_series_shape(self, trajectory):
+        assert trajectory.series("x").shape == trajectory.times.shape
+
+    def test_initial_final(self, trajectory):
+        assert trajectory.initial["x"] == pytest.approx(0.99)
+        assert trajectory.final["x"] == pytest.approx(0.0, abs=1e-4)
+
+    def test_at_interpolation(self, trajectory):
+        mid = trajectory.at(7.5)
+        assert 0.0 < mid["y"] < 1.0
+        assert mid["x"] + mid["y"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_at_out_of_range(self, trajectory):
+        with pytest.raises(ValueError):
+            trajectory.at(100.0)
+
+    def test_time_to_reach_decreasing(self, trajectory):
+        t = trajectory.time_to_reach("x", 0.5)
+        assert t is not None and 0 < t < 15.0
+        # Consistency: x(t) ~= 0.5 there.
+        assert trajectory.at(t)["x"] == pytest.approx(0.5, abs=0.01)
+
+    def test_time_to_reach_unreached(self, trajectory):
+        assert trajectory.time_to_reach("x", 2.0) is None
+
+
+class TestEquilibriumStop:
+    def test_stops_early(self, endemic_system):
+        traj = integrate_to_equilibrium(
+            endemic_system, {"x": 0.9, "y": 0.1, "z": 0.0}, max_time=1e5, tol=1e-10
+        )
+        assert traj.converged
+        assert traj.times[-1] < 1e5
+        # Settled at the non-trivial equilibrium of eq. (2).
+        assert traj.final["x"] == pytest.approx(0.25, rel=1e-3)
+
+    def test_endemic_converges_to_eq2(self, fig2_params):
+        system = fig2_params.system()
+        traj = integrate_to_equilibrium(system, {"x": 0.5, "y": 0.5, "z": 0.0})
+        expected = fig2_params.equilibrium()
+        for state, value in expected.items():
+            assert traj.final[state] == pytest.approx(value, rel=1e-3, abs=1e-9)
+
+    def test_no_event_when_flow_stays_large(self, epidemic_system):
+        traj = integrate(
+            epidemic_system, {"x": 0.5, "y": 0.5}, 0.5,
+            stop_at_equilibrium=True, equilibrium_tol=1e-12,
+        )
+        assert not traj.converged

@@ -1,0 +1,99 @@
+"""Tests for the canonical system library (repro.odes.library)."""
+
+import pytest
+
+from repro.odes import classify, is_complete, library
+
+
+class TestEpidemic:
+    def test_structure(self):
+        system = library.epidemic()
+        assert system.variables == ("x", "y")
+        assert is_complete(system)
+
+    def test_rate_parameter(self):
+        system = library.epidemic(rate=2.5)
+        assert system.max_coefficient() == 2.5
+
+    def test_push_variant_same_mean_field(self):
+        assert library.push_epidemic().equivalent_to(library.epidemic())
+
+
+class TestEndemic:
+    def test_beta_from_b(self):
+        system = library.endemic(alpha=0.01, gamma=1.0, b=2)
+        assert system.max_coefficient() == 4.0
+
+    def test_beta_explicit(self):
+        system = library.endemic(alpha=0.01, gamma=1.0, beta=4.0)
+        assert system.equivalent_to(library.endemic(alpha=0.01, gamma=1.0, b=2))
+
+    def test_requires_exactly_one_of_beta_b(self):
+        with pytest.raises(ValueError):
+            library.endemic(alpha=0.1, gamma=0.1)
+        with pytest.raises(ValueError):
+            library.endemic(alpha=0.1, gamma=0.1, beta=4.0, b=2)
+
+    def test_rate_ranges_enforced(self):
+        with pytest.raises(ValueError):
+            library.endemic(alpha=0.0, gamma=0.1, beta=4.0)
+        with pytest.raises(ValueError):
+            library.endemic(alpha=0.1, gamma=1.5, beta=4.0)
+
+    def test_beta_must_exceed_gamma(self):
+        with pytest.raises(ValueError):
+            library.endemic(alpha=0.1, gamma=0.9, beta=0.5)
+
+    def test_mappable(self):
+        report = classify(library.endemic(alpha=0.01, gamma=1.0, b=2))
+        assert report.mapping_technique == "flip+sample"
+
+
+class TestLV:
+    def test_lv_is_restricted_partitionable(self):
+        report = classify(library.lv())
+        assert report.mapping_technique == "flip+sample"
+
+    def test_lv_raw_expands_to_lv_on_simplex(self):
+        raw = library.lv_raw()
+        lv = library.lv()
+        # On the simplex (z = 1-x-y) the dynamics agree for x and y.
+        for x, y in [(0.2, 0.3), (0.6, 0.1), (0.0, 0.5)]:
+            z = 1.0 - x - y
+            raw_rhs = raw.rhs([x, y])
+            lv_rhs = lv.rhs([x, y, z])
+            assert raw_rhs[0] == pytest.approx(lv_rhs[0])
+            assert raw_rhs[1] == pytest.approx(lv_rhs[1])
+
+    def test_lv_rate_parameter(self):
+        assert library.lv(rate=1.5).max_coefficient() == 1.5
+
+    def test_z_has_duplicated_terms(self):
+        lv = library.lv()
+        xy_terms = [
+            t for t in lv.terms_of("z") if t.monomial == (("x", 1), ("y", 1))
+        ]
+        assert len(xy_terms) == 2
+
+
+class TestClassics:
+    def test_sir_complete(self):
+        assert is_complete(library.sir(beta=0.5, gamma=0.1))
+
+    def test_sis_complete_and_mappable(self):
+        report = classify(library.sis(beta=0.5, gamma=0.1))
+        assert report.mappable
+
+    def test_higher_order_demo_needs_tokens(self):
+        report = classify(library.higher_order_demo())
+        assert report.mapping_technique == "flip+sample+tokenize"
+
+    def test_registry_builders_produce_systems(self):
+        for name, builder in library.REGISTRY.items():
+            if name == "endemic":
+                system = builder(alpha=0.01, gamma=0.5, b=1)
+            elif name in ("sir", "sis"):
+                system = builder(beta=0.5, gamma=0.1)
+            else:
+                system = builder()
+            assert system.dimension >= 2

@@ -1,0 +1,100 @@
+"""Tests for perturbation analysis (repro.analysis.linearize)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linearize import (
+    endemic_closed_form_matrix,
+    endemic_trace_determinant,
+    linearize,
+    perturb,
+    planar_jacobian_endemic,
+    relative_deviation,
+)
+from repro.odes import library
+
+
+class TestNumericLinearization:
+    def test_reduced_operator_shape(self, endemic_system, fig2_params):
+        local = linearize(endemic_system, fig2_params.equilibrium())
+        assert local.jacobian.shape == (3, 3)
+        assert local.reduced.shape == (2, 2)
+
+    def test_trace_matches_paper(self, endemic_system, fig2_params):
+        local = linearize(endemic_system, fig2_params.equilibrium())
+        assert local.trace == pytest.approx(fig2_params.trace(), rel=1e-9)
+
+    def test_determinant_matches_paper(self, endemic_system, fig2_params):
+        local = linearize(endemic_system, fig2_params.equilibrium())
+        assert local.determinant == pytest.approx(
+            fig2_params.determinant(), rel=1e-9
+        )
+
+    def test_discriminant_sign_spiral(self, endemic_system, fig2_params):
+        local = linearize(endemic_system, fig2_params.equilibrium())
+        assert local.discriminant < 0
+        assert local.oscillation_frequency() > 0
+
+    def test_decay_rate_positive_at_stable_point(self, endemic_system, fig2_params):
+        local = linearize(endemic_system, fig2_params.equilibrium())
+        assert local.decay_rate() > 0
+
+    def test_eigenvalues_match_closed_form(self, endemic_system, fig2_params):
+        local = linearize(endemic_system, fig2_params.equilibrium())
+        numeric = sorted(local.eigenvalues, key=lambda e: (e.real, e.imag))
+        closed = sorted(fig2_params.eigenvalues(), key=lambda e: (e.real, e.imag))
+        for a, b in zip(numeric, closed):
+            assert a == pytest.approx(b, rel=1e-9)
+
+
+class TestClosedForms:
+    def test_matrix_a_eigen_match_planar_jacobian(self):
+        alpha, gamma, beta = 0.01, 1.0, 4.0
+        A = endemic_closed_form_matrix(alpha, gamma, beta)
+        J = planar_jacobian_endemic(alpha, gamma, beta)
+        eig_a = np.sort_complex(np.linalg.eigvals(A))
+        eig_j = np.sort_complex(np.linalg.eigvals(J))
+        assert eig_a == pytest.approx(eig_j, rel=1e-12)
+
+    def test_trace_det_equation5(self):
+        alpha, gamma, beta = 0.001, 0.1, 4.0
+        sigma = (beta - gamma) / (1 + gamma / alpha)
+        tau, delta = endemic_trace_determinant(alpha, gamma, beta)
+        assert tau == pytest.approx(-(sigma + alpha))
+        assert delta == pytest.approx(sigma * (gamma + alpha))
+
+    def test_theorem3_always_stable(self):
+        # Across a parameter sweep: tau < 0 < Delta whenever
+        # alpha, gamma > 0 and beta > gamma.
+        for alpha in (1e-6, 1e-3, 0.5, 1.0):
+            for gamma in (1e-3, 0.1, 1.0):
+                for beta in (2.0, 4.0, 64.0):
+                    if beta <= gamma:
+                        continue
+                    tau, delta = endemic_trace_determinant(alpha, gamma, beta)
+                    assert tau < 0
+                    assert delta > 0
+
+
+class TestPerturbationHelpers:
+    def test_perturb_roundtrip(self, fig2_params):
+        equilibrium = fig2_params.equilibrium()
+        deviated = perturb(equilibrium, {"x": 0.05, "y": -0.02})
+        recovered = relative_deviation(deviated, equilibrium)
+        assert recovered["x"] == pytest.approx(0.05)
+        assert recovered["y"] == pytest.approx(-0.02)
+        assert recovered["z"] == pytest.approx(0.0)
+
+    def test_perturbation_decays(self, endemic_system, fig2_params):
+        # Integrate from a 5% perturbation: deviation must shrink.
+        from repro.odes import integrate
+
+        equilibrium = fig2_params.equilibrium()
+        start = perturb(equilibrium, {"x": 0.05, "y": 0.05, "z": -0.0023})
+        # Renormalize onto the simplex.
+        total = sum(start.values())
+        start = {k: v / total for k, v in start.items()}
+        trajectory = integrate(endemic_system, start, t_end=400.0)
+        final_dev = relative_deviation(trajectory.final, equilibrium)
+        initial_dev = relative_deviation(start, equilibrium)
+        assert abs(final_dev["x"]) < abs(initial_dev["x"]) / 10

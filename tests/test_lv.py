@@ -1,0 +1,113 @@
+"""Tests for the LV majority protocol (repro.protocols.lv)."""
+
+import pytest
+
+from repro.protocols.lv import (
+    ONE,
+    UNDECIDED,
+    ZERO,
+    LVMajority,
+    expected_convergence_periods,
+    lv_protocol,
+    majority_accuracy,
+)
+from repro.runtime import MassiveFailure
+
+
+class TestProtocolShape:
+    def test_figure3_biases(self):
+        spec = lv_protocol(p=0.01)
+        assert all(a.probability == pytest.approx(0.03) for a in spec.actions)
+
+    def test_exact_mean_field(self):
+        assert lv_protocol(p=0.01).verify_equivalence()
+
+    def test_state_count(self):
+        assert lv_protocol().states == (ZERO, ONE, UNDECIDED)
+
+
+class TestMajoritySelection:
+    def test_clear_majority_wins(self):
+        outcome = LVMajority(4000, zeros=2600, ones=1400, seed=0).run(3000)
+        assert outcome.converged
+        assert outcome.winner == ZERO
+        assert outcome.correct
+
+    def test_symmetric_case_one_wins(self):
+        outcome = LVMajority(4000, zeros=1400, ones=2600, seed=1).run(3000)
+        assert outcome.winner == ONE
+        assert outcome.correct
+
+    def test_initial_undecided_supported(self):
+        outcome = LVMajority(
+            3000, zeros=1500, ones=900, undecided=600, seed=2
+        ).run(3000)
+        assert outcome.winner == ZERO
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            LVMajority(100, zeros=60, ones=60)
+
+    def test_decisions_view(self):
+        instance = LVMajority(100, zeros=60, ones=40, seed=3)
+        decisions = instance.decisions()
+        assert decisions == {"0": 60, "1": 40, "b": 0}
+
+    def test_convergence_recorded(self):
+        outcome = LVMajority(2000, zeros=1400, ones=600, seed=4).run(3000)
+        assert outcome.convergence_period is not None
+        assert outcome.convergence_period > 0
+        recorder = outcome.recorder
+        assert recorder.counts(ZERO)[-1] == 2000
+
+    def test_no_convergence_within_budget(self):
+        outcome = LVMajority(2000, zeros=1001, ones=999, seed=5).run(3)
+        assert not outcome.converged
+        assert outcome.correct is None
+
+
+class TestFailures:
+    def test_massive_failure_still_converges(self):
+        # Figure 12 in miniature: 50% crash early on.
+        instance = LVMajority(4000, zeros=2400, ones=1600, seed=6)
+        outcome = instance.run(
+            4000, hooks=(MassiveFailure(at_period=20, fraction=0.5),)
+        )
+        assert outcome.converged
+        assert outcome.winner == ZERO
+
+    def test_winner_counts_alive_only(self):
+        instance = LVMajority(1000, zeros=700, ones=300, seed=7)
+        instance.engine.crash(instance.engine.members_in(ONE))
+        outcome = instance.run(2000)
+        assert outcome.winner == ZERO
+
+
+class TestAccuracy:
+    def test_lopsided_split_always_correct(self):
+        accuracy = majority_accuracy(
+            600, zeros=450, trials=6, max_periods=3000, seed=0
+        )
+        assert accuracy == 1.0
+
+    def test_near_tie_less_reliable(self):
+        lopsided = majority_accuracy(
+            400, zeros=300, trials=6, max_periods=4000, seed=10
+        )
+        close = majority_accuracy(
+            400, zeros=204, trials=6, max_periods=4000, seed=10
+        )
+        assert close <= lopsided
+
+
+class TestTheory:
+    def test_expected_convergence_logarithmic(self):
+        small = expected_convergence_periods(1_000)
+        large = expected_convergence_periods(1_000_000)
+        assert large - small == pytest.approx(
+            (3 * 2.302585) / 0.03, rel=0.05
+        )  # ln(1000)/(3p)
+
+    def test_fig11_prediction_under_500(self):
+        # Paper: 100,000 processes converge in < 500 periods.
+        assert expected_convergence_periods(100_000, u0=0.4) < 500

@@ -1,0 +1,118 @@
+"""Tests for membership views and overlays."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.membership import FullMembership, PartialMembership
+from repro.runtime.overlay import (
+    erdos_renyi_overlay,
+    log_degree,
+    overlay_stats,
+    random_regular_overlay,
+)
+from repro.runtime.rng import make_generator, sample_other
+
+
+class TestFullMembership:
+    def test_excludes_caller(self):
+        membership = FullMembership(10, make_generator(0))
+        for _ in range(50):
+            targets = membership.sample(caller=3, k=4)
+            assert 3 not in targets
+
+    def test_uniform_over_others(self):
+        membership = FullMembership(5, make_generator(1))
+        counts = np.zeros(5)
+        for _ in range(4000):
+            counts[membership.sample(0, 1)[0]] += 1
+        assert counts[0] == 0
+        assert counts[1:] == pytest.approx(np.full(4, 1000), rel=0.15)
+
+    def test_view_size(self):
+        assert FullMembership(100, make_generator(0)).view_size(0) == 99
+
+    def test_minimum_group(self):
+        with pytest.raises(ValueError):
+            FullMembership(1, make_generator(0))
+
+
+class TestSampleOther:
+    def test_never_self(self):
+        rng = make_generator(2)
+        actors = np.array([0, 5, 9])
+        targets = sample_other(rng, 10, actors, k=8)
+        for row, actor in zip(targets, actors):
+            assert actor not in row
+
+    def test_uniform_shifted(self):
+        rng = make_generator(3)
+        actors = np.zeros(20000, dtype=np.int64)
+        targets = sample_other(rng, 4, actors, k=1).ravel()
+        counts = np.bincount(targets, minlength=4)
+        assert counts[0] == 0
+        assert counts[1:] == pytest.approx(np.full(3, 20000 / 3), rel=0.1)
+
+    def test_empty_actors(self):
+        rng = make_generator(0)
+        out = sample_other(rng, 10, np.array([], dtype=np.int64), k=3)
+        assert out.shape == (0, 3)
+
+
+class TestPartialMembership:
+    def test_samples_only_neighbors(self):
+        neighbors = [np.array([1, 2]), np.array([0]), np.array([0])]
+        membership = PartialMembership(neighbors, make_generator(4))
+        for _ in range(20):
+            assert membership.sample(1, 1)[0] == 0
+            assert membership.sample(0, 1)[0] in (1, 2)
+
+    def test_empty_neighborhood_rejected(self):
+        with pytest.raises(ValueError):
+            PartialMembership([np.array([1]), np.array([])], make_generator(0))
+
+    def test_view_sizes(self):
+        neighbors = [np.array([1, 2]), np.array([0]), np.array([0])]
+        membership = PartialMembership(neighbors, make_generator(0))
+        assert membership.view_size(0) == 2
+        assert membership.mean_view_size() == pytest.approx(4 / 3)
+
+
+class TestOverlays:
+    def test_log_degree_grows_slowly(self):
+        assert log_degree(1000) < log_degree(1_000_000) < 50
+        assert log_degree(2) >= 3
+
+    def test_random_regular_connected(self):
+        neighbors = random_regular_overlay(200, seed=0)
+        stats = overlay_stats(neighbors)
+        assert stats["connected"]
+        assert stats["min_degree"] >= 3
+
+    def test_random_regular_degree(self):
+        neighbors = random_regular_overlay(100, degree=6, seed=1)
+        stats = overlay_stats(neighbors)
+        assert stats["mean_degree"] == pytest.approx(6.0)
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_overlay(10, degree=10)
+
+    def test_erdos_renyi_no_isolated(self):
+        neighbors = erdos_renyi_overlay(300, mean_degree=3.0, seed=2)
+        assert all(len(p) >= 1 for p in neighbors)
+
+    def test_partial_membership_epidemic_still_spreads(self):
+        # Footnote 1: log-size views are enough for the protocols.
+        from repro.odes import library
+        from repro.runtime import AgentSimulation
+        from repro.synthesis import synthesize
+
+        n = 300
+        overlay = random_regular_overlay(n, seed=3)
+        membership = PartialMembership(overlay, make_generator(5))
+        sim = AgentSimulation(
+            synthesize(library.epidemic()), n=n,
+            initial={"x": n - 1, "y": 1}, seed=6, membership=membership,
+        )
+        sim.run(40)
+        assert sim.counts()["y"] == n

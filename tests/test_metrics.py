@@ -1,0 +1,113 @@
+"""Tests for metrics recording (repro.runtime.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.metrics import MetricsRecorder, WindowStats
+
+
+class TestRecording:
+    def test_counts_series(self):
+        recorder = MetricsRecorder(["a", "b"])
+        recorder.record(0, {"a": 10, "b": 0}, alive=10)
+        recorder.record(1, {"a": 7, "b": 3}, alive=10)
+        assert recorder.counts("a").tolist() == [10, 7]
+        assert recorder.counts("b").tolist() == [0, 3]
+        assert recorder.alive_series().tolist() == [10, 10]
+
+    def test_missing_state_counts_zero(self):
+        recorder = MetricsRecorder(["a", "b"])
+        recorder.record(0, {"a": 5}, alive=5)
+        assert recorder.counts("b").tolist() == [0]
+
+    def test_stride_skips_periods(self):
+        recorder = MetricsRecorder(["a"], stride=5)
+        for period in range(12):
+            recorder.record(period, {"a": period}, alive=1)
+        assert recorder.times.tolist() == [0, 5, 10]
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            MetricsRecorder(["a"], stride=0)
+
+    def test_fractions(self):
+        recorder = MetricsRecorder(["a", "b"])
+        recorder.record(0, {"a": 25, "b": 75}, alive=100)
+        assert recorder.fractions("a").tolist() == [0.25]
+
+    def test_empty_series(self):
+        recorder = MetricsRecorder(["a"])
+        assert recorder.counts("a").size == 0
+
+
+class TestTransitions:
+    def test_transition_series(self):
+        recorder = MetricsRecorder(["a", "b"])
+        recorder.record(0, {"a": 9, "b": 1}, alive=10, transitions={("a", "b"): 1})
+        recorder.record(1, {"a": 7, "b": 3}, alive=10, transitions={("a", "b"): 2})
+        assert recorder.transition_series(("a", "b")).tolist() == [1, 2]
+
+    def test_unseen_edge_zero(self):
+        recorder = MetricsRecorder(["a", "b"])
+        recorder.record(0, {"a": 10, "b": 0}, alive=10, transitions={})
+        assert recorder.transition_series(("b", "a")).tolist() == [0]
+
+    def test_edges_seen(self):
+        recorder = MetricsRecorder(["a", "b"])
+        recorder.record(0, {}, alive=0, transitions={("a", "b"): 1})
+        recorder.record(1, {}, alive=0, transitions={("b", "a"): 4})
+        assert recorder.edges_seen() == [("a", "b"), ("b", "a")]
+
+    def test_disabled_tracking_raises(self):
+        recorder = MetricsRecorder(["a"], track_transitions=False)
+        recorder.record(0, {"a": 1}, alive=1)
+        with pytest.raises(RuntimeError):
+            recorder.transition_series(("a", "a"))
+
+
+class TestMemberLog:
+    def test_members_stored_when_enabled(self):
+        recorder = MetricsRecorder(["a", "b"], member_log_state="b")
+        recorder.record(0, {"a": 8, "b": 2}, alive=10, members=np.array([3, 7]))
+        assert len(recorder.member_log) == 1
+        period, members = recorder.member_log[0]
+        assert period == 0 and members.tolist() == [3, 7]
+
+    def test_member_occupancy(self):
+        recorder = MetricsRecorder(["a", "b"], member_log_state="b")
+        recorder.record(0, {}, alive=0, members=np.array([1, 2]))
+        recorder.record(1, {}, alive=0, members=np.array([2]))
+        assert recorder.member_occupancy() == {1: 1, 2: 2}
+
+
+class TestWindows:
+    def test_window_stats(self):
+        recorder = MetricsRecorder(["a"])
+        for period, value in enumerate([0, 10, 20, 30, 40]):
+            recorder.record(period, {"a": value}, alive=100)
+        stats = recorder.window("a", start_period=2)
+        assert stats.median == 30
+        assert stats.minimum == 20
+        assert stats.maximum == 40
+
+    def test_window_with_end(self):
+        recorder = MetricsRecorder(["a"])
+        for period in range(10):
+            recorder.record(period, {"a": period}, alive=10)
+        stats = recorder.window("a", start_period=2, end_period=4)
+        assert stats.mean == pytest.approx(3.0)
+
+    def test_window_stats_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            WindowStats.of(np.array([]))
+
+    def test_last_counts(self):
+        recorder = MetricsRecorder(["a", "b"])
+        recorder.record(0, {"a": 1, "b": 2}, alive=3)
+        recorder.record(5, {"a": 4, "b": 5}, alive=9)
+        assert recorder.last_counts() == {"a": 4, "b": 5}
+
+    def test_to_rows(self):
+        recorder = MetricsRecorder(["a", "b"])
+        recorder.record(0, {"a": 1, "b": 2}, alive=3)
+        assert recorder.to_rows() == [(0, 3, 1, 2)]

@@ -1,0 +1,138 @@
+"""Tests for the unreliable network model (repro.runtime.network)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.des import Environment
+from repro.runtime.network import ContactFailed, LatencyModel, Network
+
+
+def make_network(loss=0.0, seed=0, latency=None):
+    env = Environment()
+    rng = np.random.Generator(np.random.MT19937(seed))
+    return env, Network(env, rng, loss_rate=loss, latency=latency)
+
+
+class TestContacts:
+    def test_roundtrip_reply(self):
+        env, net = make_network()
+        net.register(7, lambda payload: ("echo", payload))
+        results = []
+
+        def caller(env):
+            reply = yield net.contact(7, "hello")
+            results.append((env.now, reply))
+
+        env.spawn(caller(env))
+        env.run()
+        assert results[0][1] == ("echo", "hello")
+        assert results[0][0] > 0.0  # latency elapsed
+
+    def test_contact_unregistered_fails(self):
+        env, net = make_network()
+        failures = []
+
+        def caller(env):
+            try:
+                yield net.contact(99, "x")
+            except ContactFailed:
+                failures.append(True)
+
+        env.spawn(caller(env))
+        env.run()
+        assert failures == [True]
+
+    def test_loss_rate_one_sided(self):
+        env, net = make_network(loss=0.6, seed=3)
+        net.register(1, lambda p: "ok")
+        outcomes = []
+
+        def caller(env):
+            for _ in range(300):
+                try:
+                    yield net.contact(1, None)
+                    outcomes.append(True)
+                except ContactFailed:
+                    outcomes.append(False)
+
+        env.spawn(caller(env))
+        env.run()
+        rate = sum(outcomes) / len(outcomes)
+        assert rate == pytest.approx(0.4, abs=0.07)
+        assert net.contacts_failed + sum(outcomes) == net.contacts_attempted
+
+    def test_handler_reflects_state_at_delivery(self):
+        # The target's state changes between send and delivery: the
+        # reply must reflect delivery-time state.
+        env, net = make_network(latency=LatencyModel(base=1.0, jitter_mean=0.0))
+        state = {"value": "before"}
+        net.register(1, lambda p: state["value"])
+        replies = []
+
+        def caller(env):
+            reply = yield net.contact(1, None)
+            replies.append(reply)
+
+        env.spawn(caller(env))
+        env.schedule(0.5, lambda: state.update(value="after"))
+        env.run()
+        assert replies == ["after"]
+
+    def test_handler_exception_becomes_failure(self):
+        env, net = make_network()
+
+        def broken(payload):
+            raise ValueError("bug")
+
+        net.register(1, broken)
+        failures = []
+
+        def caller(env):
+            try:
+                yield net.contact(1, None)
+            except ContactFailed:
+                failures.append(True)
+
+        env.spawn(caller(env))
+        env.run()
+        assert failures == [True]
+
+
+class TestFireAndForget:
+    def test_delivery(self):
+        env, net = make_network()
+        inbox = []
+        net.register(2, inbox.append)
+        net.fire_and_forget(2, "msg")
+        env.run()
+        assert inbox == ["msg"]
+
+    def test_unregister_drops(self):
+        env, net = make_network()
+        inbox = []
+        net.register(2, inbox.append)
+        net.unregister(2)
+        net.fire_and_forget(2, "msg")
+        env.run()
+        assert inbox == []
+        assert net.contacts_failed == 1
+
+
+class TestLatencyModel:
+    def test_base_only(self):
+        model = LatencyModel(base=0.5, jitter_mean=0.0)
+        rng = np.random.Generator(np.random.MT19937(0))
+        assert model.draw(rng) == 0.5
+
+    def test_jitter_positive(self):
+        model = LatencyModel(base=0.1, jitter_mean=0.5)
+        rng = np.random.Generator(np.random.MT19937(0))
+        draws = [model.draw(rng) for _ in range(100)]
+        assert all(d >= 0.1 for d in draws)
+        assert np.mean(draws) == pytest.approx(0.6, abs=0.15)
+
+    def test_invalid_loss_rate(self):
+        env = Environment()
+        rng = np.random.Generator(np.random.MT19937(0))
+        with pytest.raises(ValueError):
+            Network(env, rng, loss_rate=1.0)

@@ -1,0 +1,96 @@
+"""Tests for open-group joins (repro.runtime.failures.OpenGroupJoins)."""
+
+import numpy as np
+import pytest
+
+from repro.odes import library
+from repro.protocols.endemic import EndemicParams, figure1_protocol
+from repro.protocols.lv import LVMajority
+from repro.runtime import OpenGroupJoins, RoundEngine
+from repro.synthesis import FlipAction, ProtocolSpec, synthesize
+
+
+def idle_spec():
+    return ProtocolSpec(
+        name="idle", states=("a", "b"),
+        actions=(FlipAction("a", 0.0, "b"),),
+    )
+
+
+class TestJoins:
+    def test_reserve_joins_gradually(self):
+        engine = RoundEngine(idle_spec(), n=200, initial={"a": 200}, seed=0)
+        reserve = np.arange(100)
+        engine.crash(reserve)  # the not-yet-joined processes
+        joins = OpenGroupJoins(reserve=reserve, join_rate=0.1, seed=1)
+        engine.run(periods=10, hooks=[joins])
+        assert 0 < joins.joined < 100
+        assert engine.alive_count() == 100 + joins.joined
+
+    def test_all_eventually_join(self):
+        engine = RoundEngine(idle_spec(), n=100, initial={"a": 100}, seed=2)
+        reserve = np.arange(50)
+        engine.crash(reserve)
+        joins = OpenGroupJoins(reserve=reserve, join_rate=0.5, seed=3)
+        engine.run(periods=50, hooks=[joins])
+        assert joins.exhausted
+        assert engine.alive_count() == 100
+
+    def test_joiners_enter_recovery_state(self):
+        engine = RoundEngine(idle_spec(), n=100, initial={"b": 100}, seed=4)
+        reserve = np.arange(30)
+        engine.crash(reserve)
+        joins = OpenGroupJoins(reserve=reserve, join_rate=1.0, seed=5)
+        engine.run(periods=1, hooks=[joins])
+        assert engine.counts()["a"] == 30  # default recovery state
+
+    def test_explicit_join_state(self):
+        engine = RoundEngine(idle_spec(), n=100, initial={"a": 100}, seed=6)
+        reserve = np.arange(10)
+        engine.crash(reserve)
+        joins = OpenGroupJoins(reserve=reserve, join_rate=1.0, state="b", seed=7)
+        engine.run(periods=1, hooks=[joins])
+        assert engine.counts()["b"] == 10
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            OpenGroupJoins(reserve=np.arange(5), join_rate=0.0)
+
+
+class TestOpenGroupProtocols:
+    def test_lv_converges_with_joins(self):
+        """Section 5.2: the LV protocol self-stabilizes in open groups."""
+        n, initial_members = 4_000, 3_000
+        instance = LVMajority(n, zeros=1_800, ones=1_200, undecided=1_000, seed=8)
+        # The last 1000 ids have not joined yet; they arrive over time
+        # as undecided processes.
+        reserve = np.arange(initial_members, n)
+        instance.engine.crash(reserve)
+        instance.engine.set_states(reserve, "z")
+        joins = OpenGroupJoins(reserve=reserve, join_rate=0.01, state="z", seed=9)
+        outcome = instance.run(4000, hooks=(joins,))
+        assert outcome.winner == "x"
+        assert joins.joined > 0
+
+    def test_endemic_absorbs_joiners(self, fig8_params):
+        """New hosts join receptive; the equilibrium tracks the grown
+        population."""
+        n, initial_members = 2_000, 1_000
+        spec = figure1_protocol(fig8_params)
+        # The first 1000 hosts sit at their own (half-group)
+        # equilibrium; the reserve ids start receptive (and crashed).
+        member_eq = fig8_params.equilibrium_counts(initial_members)
+        initial = dict(member_eq)
+        initial["x"] += n - initial_members
+        engine = RoundEngine(spec, n=n, initial=initial, seed=10)
+        reserve = np.arange(initial_members, n)
+        engine.crash(reserve)
+        joins = OpenGroupJoins(reserve=reserve, join_rate=0.02, seed=11)
+        result = engine.run(800, hooks=[joins])
+        assert joins.exhausted
+        # Population doubled; the stash count approaches the full-group
+        # equilibrium.
+        expected = fig8_params.equilibrium_counts(n)["y"]
+        assert result.recorder.window("y", 600).mean == pytest.approx(
+            expected, rel=0.35
+        )

@@ -1,0 +1,104 @@
+"""Tests for term pairing (repro.odes.partition)."""
+
+import pytest
+
+from repro.odes import library
+from repro.odes.partition import partition_terms, reconstruct_system
+from repro.odes.system import build_system
+
+
+class TestStrictPairing:
+    def test_epidemic_single_pair(self, epidemic_system):
+        result = partition_terms(epidemic_system)
+        assert result.is_partitionable
+        assert len(result.pairs) == 1
+        pair = result.pairs[0]
+        assert (pair.source, pair.target) == ("x", "y")
+        assert pair.magnitude == 1.0
+
+    def test_endemic_three_pairs(self, endemic_system):
+        result = partition_terms(endemic_system)
+        assert result.is_partitionable
+        edges = {(p.source, p.target) for p in result.pairs}
+        assert edges == {("x", "y"), ("y", "z"), ("z", "x")}
+
+    def test_lv_four_pairs_as_written(self, lv_system):
+        result = partition_terms(lv_system, presimplify=False)
+        assert result.is_partitionable
+        edges = sorted((p.source, p.target) for p in result.pairs)
+        assert edges == [("x", "z"), ("y", "z"), ("z", "x"), ("z", "y")]
+
+    def test_merged_lv_not_strictly_partitionable(self, lv_system):
+        result = partition_terms(lv_system.simplified())
+        assert not result.is_partitionable
+        assert result.unmatched
+
+    def test_unmatched_reported_with_variable(self):
+        system = build_system(
+            "odd", ["x", "y"],
+            {"x": [(-2.0, {"x": 1})], "y": [(1.0, {"x": 1}), (1.0, {"x": 1})]},
+        )
+        # presimplify=False keeps the two +x terms separate: -2x cannot
+        # strictly pair with either.
+        result = partition_terms(system, presimplify=False)
+        assert not result.is_partitionable
+
+    def test_pairs_from(self, endemic_system):
+        result = partition_terms(endemic_system)
+        assert len(result.pairs_from("y")) == 1
+
+
+class TestSplittingPairing:
+    def test_merged_lv_splits(self, lv_system):
+        result = partition_terms(lv_system.simplified(), allow_splitting=True)
+        assert result.is_partitionable
+        assert result.used_splitting
+        # The +6xy splits into two 3xy pieces toward x and y outflows.
+        xy_pairs = [p for p in result.pairs if p.monomial == (("x", 1), ("y", 1))]
+        assert sorted(p.source for p in xy_pairs) == ["x", "y"]
+        assert all(p.magnitude == pytest.approx(3.0) for p in xy_pairs)
+
+    def test_splitting_conserves_mass(self):
+        system = build_system(
+            "mass", ["x", "y", "z"],
+            {
+                "x": [(-5.0, {"x": 1, "y": 1})],
+                "y": [(2.0, {"x": 1, "y": 1})],
+                "z": [(3.0, {"x": 1, "y": 1})],
+            },
+        )
+        result = partition_terms(system, allow_splitting=True)
+        assert result.is_partitionable
+        total = sum(p.magnitude for p in result.pairs)
+        assert total == pytest.approx(5.0)
+
+    def test_splitting_cannot_fix_incomplete(self):
+        system = build_system(
+            "incomplete", ["x", "y"],
+            {"x": [(-2.0, {"x": 1})], "y": [(1.0, {"x": 1})]},
+        )
+        result = partition_terms(system, allow_splitting=True)
+        assert not result.is_partitionable
+
+
+class TestReconstruction:
+    def test_roundtrip_endemic(self, endemic_system):
+        result = partition_terms(endemic_system)
+        rebuilt = reconstruct_system(list(endemic_system.variables), result.pairs)
+        assert rebuilt.equivalent_to(endemic_system)
+
+    def test_roundtrip_lv_with_splitting(self, lv_system):
+        result = partition_terms(lv_system.simplified(), allow_splitting=True)
+        rebuilt = reconstruct_system(list(lv_system.variables), result.pairs)
+        assert rebuilt.equivalent_to(lv_system)
+
+    def test_pair_render(self, epidemic_system):
+        result = partition_terms(epidemic_system)
+        assert "x" in result.pairs[0].render()
+
+    def test_deterministic_order(self, endemic_system):
+        a = partition_terms(endemic_system)
+        b = partition_terms(endemic_system)
+        assert [(p.source, p.target) for p in a.pairs] == [
+            (p.source, p.target) for p in b.pairs
+        ]

@@ -1,0 +1,130 @@
+"""Tests for protocol specifications (repro.synthesis.protocol)."""
+
+import pytest
+
+from repro.odes import library
+from repro.protocols.endemic import EndemicParams, figure1_protocol
+from repro.synthesis import (
+    FlipAction,
+    ProtocolSpec,
+    SampleAction,
+    SynthesisError,
+    synthesize,
+)
+
+
+class TestValidation:
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(SynthesisError):
+            ProtocolSpec(name="bad", states=("x", "x"), actions=())
+
+    def test_unknown_state_in_action_rejected(self):
+        with pytest.raises(SynthesisError):
+            ProtocolSpec(
+                name="bad",
+                states=("x",),
+                actions=(FlipAction("x", 0.5, "nowhere"),),
+            )
+
+    def test_normalizer_bounds(self):
+        with pytest.raises(SynthesisError):
+            ProtocolSpec(name="bad", states=("x",), actions=(), normalizer=0.0)
+        with pytest.raises(SynthesisError):
+            ProtocolSpec(name="bad", states=("x",), actions=(), normalizer=1.5)
+
+
+class TestTimeScale:
+    def test_periods_for_time(self):
+        spec = synthesize(library.endemic(alpha=0.01, gamma=1.0, b=2))
+        assert spec.normalizer == pytest.approx(0.25)
+        assert spec.periods_for_time(10.0) == 40
+        assert spec.time_for_periods(40) == pytest.approx(10.0)
+
+    def test_epidemic_unit_scale(self):
+        spec = synthesize(library.epidemic())
+        assert spec.time_scale == 1.0
+
+
+class TestMessageComplexity:
+    def test_epidemic(self):
+        spec = synthesize(library.epidemic())
+        assert spec.message_complexity() == {"x": 1, "y": 0}
+        assert spec.paper_message_bound() == {"x": 1, "y": 0}
+
+    def test_lv(self):
+        spec = synthesize(library.lv(), p=0.01)
+        complexity = spec.message_complexity()
+        # x and y each sample once; z runs two one-sample actions.
+        assert complexity == {"x": 1, "y": 1, "z": 2}
+        assert spec.paper_message_bound() == complexity
+
+    def test_bound_matches_for_higher_degree(self):
+        system = library.sis(beta=0.5, gamma=0.1)
+        spec = synthesize(system)
+        assert spec.message_complexity() == spec.paper_message_bound()
+
+    def test_figure1_variant_uses_fanout(self, fig7_params):
+        spec = figure1_protocol(fig7_params)
+        complexity = spec.message_complexity()
+        assert complexity["x"] == fig7_params.b   # pull contacts
+        assert complexity["y"] == fig7_params.b   # push contacts
+        assert complexity["z"] == 0
+
+
+class TestMeanFieldReconstruction:
+    def test_epidemic_exact(self):
+        spec = synthesize(library.epidemic())
+        assert spec.verify_equivalence()
+
+    def test_endemic_exact(self):
+        spec = synthesize(library.endemic(alpha=0.01, gamma=1.0, b=2))
+        assert spec.verify_equivalence()
+
+    def test_lv_exact(self):
+        spec = synthesize(library.lv(), p=0.01)
+        assert spec.verify_equivalence()
+
+    def test_tokenized_exact(self):
+        spec = synthesize(library.higher_order_demo())
+        assert spec.verify_equivalence()
+
+    def test_mean_field_system_scaled_by_p(self):
+        spec = synthesize(library.lv(), p=0.01)
+        reconstructed = spec.mean_field_system()
+        assert reconstructed.equivalent_to(library.lv().simplified().scaled(0.01))
+
+    def test_variant_protocol_refuses_exact_check(self, fig7_params):
+        spec = figure1_protocol(fig7_params)
+        assert not spec.exact_mean_field
+        with pytest.raises(SynthesisError):
+            spec.verify_equivalence()
+
+    def test_no_source_refuses_check(self):
+        spec = ProtocolSpec(
+            name="manual", states=("x", "y"),
+            actions=(FlipAction("x", 0.5, "y"),),
+        )
+        with pytest.raises(SynthesisError):
+            spec.verify_equivalence()
+
+
+class TestQueries:
+    def test_actions_of(self):
+        spec = synthesize(library.lv(), p=0.01)
+        assert len(spec.actions_of("z")) == 2
+        assert len(spec.actions_of("x")) == 1
+
+    def test_edges(self):
+        spec = synthesize(library.lv(), p=0.01)
+        assert set(spec.edges()) == {
+            ("x", "z"), ("y", "z"), ("z", "x"), ("z", "y")
+        }
+
+    def test_render_shows_all_states(self, fig7_params):
+        text = figure1_protocol(fig7_params).render()
+        for state in ("x", "y", "z"):
+            assert f"state {state}" in text
+
+    def test_render_mentions_normalizer(self):
+        spec = synthesize(library.lv(), p=0.01)
+        assert "p = 0.01" in spec.render()

@@ -1,0 +1,219 @@
+"""Tests for the Section 7 rewriting techniques (repro.odes.rewrite)."""
+
+import numpy as np
+import pytest
+
+from repro.odes import library
+from repro.odes.classify import (
+    is_complete,
+    is_completely_partitionable,
+    is_restricted_polynomial,
+)
+from repro.odes.rewrite import (
+    auto_rewrite,
+    denormalize,
+    expand_constants,
+    linear_ode_to_system,
+    make_complete,
+    multiply_terms_by_total,
+    normalize,
+    split_for_partition,
+    to_restricted,
+)
+from repro.odes.system import SystemError, build_system
+from repro.odes.term import Term
+
+
+class TestMakeComplete:
+    def test_adds_slack_variable(self):
+        completed = make_complete(library.lv_raw())
+        assert completed.variables == ("x", "y", "z")
+        assert is_complete(completed)
+
+    def test_already_complete_unchanged(self, endemic_system):
+        assert make_complete(endemic_system).variables == ("x", "y", "z")
+
+    def test_slack_name_collision_avoided(self):
+        system = build_system(
+            "zsys", ["z"], {"z": [(-1.0, {"z": 1})]}
+        )
+        completed = make_complete(system)
+        assert completed.dimension == 2
+        assert "z1" in completed.variables
+
+    def test_explicit_slack_name(self):
+        completed = make_complete(library.lv_raw(), slack="u")
+        assert "u" in completed.variables
+
+    def test_explicit_slack_collision_rejected(self):
+        with pytest.raises(SystemError):
+            make_complete(library.lv_raw(), slack="x")
+
+    def test_balancing_equation_is_negated_sum(self):
+        completed = make_complete(library.lv_raw())
+        point = {"x": 0.2, "y": 0.3, "z": 0.5}
+        rhs = completed.rhs(completed.state_vector(point))
+        assert rhs.sum() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestNormalize:
+    def test_paper_example(self):
+        # X' = -(1/N) X Y normalizes to x' = -x y.
+        n = 250.0
+        counts = build_system(
+            "counts", ["x", "y"],
+            {
+                "x": [(-1.0 / n, {"x": 1, "y": 1})],
+                "y": [(1.0 / n, {"x": 1, "y": 1})],
+            },
+        )
+        fractions = normalize(counts, n)
+        assert fractions.equivalent_to(library.epidemic())
+
+    def test_roundtrip(self, endemic_system):
+        n = 1000.0
+        assert normalize(denormalize(endemic_system, n), n).equivalent_to(
+            endemic_system
+        )
+
+    def test_linear_terms_unchanged(self, endemic_system):
+        scaled = normalize(endemic_system, 42.0)
+        # gamma*y is degree 1: coefficient unchanged.
+        gamma_terms = [
+            t for t in scaled.terms_of("z") if t.variables == ("y",)
+        ]
+        assert gamma_terms[0].coefficient == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_total(self, endemic_system):
+        with pytest.raises(SystemError):
+            normalize(endemic_system, 0.0)
+
+    def test_dynamics_match_after_normalization(self):
+        n = 100.0
+        counts = build_system(
+            "counts", ["x", "y"],
+            {
+                "x": [(-0.02, {"x": 1, "y": 1})],
+                "y": [(0.02, {"x": 1, "y": 1})],
+            },
+        )
+        fractions = normalize(counts, n)
+        X = np.array([70.0, 30.0])
+        dX = counts.rhs(X)
+        dx = fractions.rhs(X / n)
+        assert dX / n == pytest.approx(dx)
+
+
+class TestHigherOrder:
+    def test_paper_example(self):
+        # x'' + x' = x  ->  x' = u; u' = x - u; z' = -x.
+        system = linear_ode_to_system([1.0, -1.0]).renamed({"u1": "u"})
+        expected = library.higher_order_demo()
+        assert system.equivalent_to(expected)
+
+    def test_first_order_passthrough(self):
+        system = linear_ode_to_system([-2.0], complete=False)
+        assert system.variables == ("x",)
+        assert system.terms_of("x")[0].coefficient == -2.0
+
+    def test_third_order(self):
+        system = linear_ode_to_system([1.0, 0.0, -0.5], complete=False)
+        assert system.variables == ("x", "u1", "u2")
+        assert [t.render() for t in system.terms_of("x")] == ["+ u1"]
+        last = {t.variables: t.coefficient for t in system.terms_of("u2")}
+        assert last == {("x",): 1.0, ("u2",): -0.5}
+
+    def test_completed_by_default(self):
+        assert is_complete(linear_ode_to_system([1.0, -1.0]))
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(SystemError):
+            linear_ode_to_system([])
+
+
+class TestExpandConstants:
+    def test_constant_becomes_linear_sum(self):
+        system = build_system(
+            "const", ["x", "y"],
+            {"x": [(0.5,)  if False else (0.5, {})], "y": [(-0.5, {})]},
+        )
+        expanded = expand_constants(system)
+        for var in expanded.variables:
+            for term in expanded.terms_of(var):
+                assert not term.is_constant()
+        # On the simplex the dynamics are unchanged.
+        point = {"x": 0.4, "y": 0.6}
+        assert expanded.rhs(expanded.state_vector(point)) == pytest.approx(
+            system.rhs(system.state_vector(point))
+        )
+
+    def test_no_constants_noop(self, endemic_system):
+        assert expand_constants(endemic_system).equivalent_to(endemic_system)
+
+
+class TestDegreeRaising:
+    def test_lv_rewrite_reproduces_equation_7(self):
+        completed = make_complete(library.lv_raw())
+        restricted = to_restricted(completed)
+        assert restricted.equivalent_to(library.lv())
+        assert is_restricted_polynomial(restricted)
+
+    def test_preserves_simplex_dynamics(self):
+        completed = make_complete(library.lv_raw())
+        restricted = to_restricted(completed)
+        for point in ({"x": 0.2, "y": 0.3, "z": 0.5}, {"x": 0.6, "y": 0.4, "z": 0.0}):
+            a = completed.rhs(completed.state_vector(point))
+            b = restricted.rhs(restricted.state_vector(point))
+            assert a == pytest.approx(b)
+
+    def test_preserves_symbolic_completeness(self):
+        completed = make_complete(library.lv_raw())
+        restricted = to_restricted(completed)
+        assert is_complete(restricted)
+
+    def test_multiply_selected_terms(self, endemic_system):
+        raised = multiply_terms_by_total(
+            endemic_system, lambda var, t: t.variables == ("z",)
+        )
+        point = {"x": 0.25, "y": 0.25, "z": 0.5}
+        assert raised.rhs(raised.state_vector(point)) == pytest.approx(
+            endemic_system.rhs(endemic_system.state_vector(point))
+        )
+
+    def test_already_restricted_unchanged(self, endemic_system):
+        assert to_restricted(endemic_system).equivalent_to(endemic_system)
+
+
+class TestSplitForPartition:
+    def test_split_lv_merged(self, lv_system):
+        merged = lv_system.simplified()
+        rewritten, partition = split_for_partition(merged)
+        assert partition.is_partitionable
+        assert rewritten.equivalent_to(lv_system)
+        assert is_completely_partitionable(rewritten)
+
+    def test_split_requires_complete(self):
+        with pytest.raises(SystemError):
+            split_for_partition(library.lv_raw())
+
+
+class TestAutoRewrite:
+    def test_lv_raw_full_pipeline(self):
+        result = auto_rewrite(library.lv_raw())
+        assert result.equivalent_to(library.lv())
+        assert is_restricted_polynomial(result)
+        assert is_complete(result)
+
+    def test_idempotent_on_mappable(self, endemic_system):
+        assert auto_rewrite(endemic_system).equivalent_to(endemic_system)
+
+    def test_constant_system(self):
+        system = build_system(
+            "cgrow", ["x", "y"],
+            {"x": [(0.1, {})], "y": [(-0.1, {})]},
+        )
+        result = auto_rewrite(system)
+        assert is_complete(result)
+        for var in result.variables:
+            for term in result.terms_of(var):
+                assert not term.is_constant()

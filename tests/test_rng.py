@@ -1,0 +1,61 @@
+"""Tests for random-stream management (repro.runtime.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.rng import RandomSource, make_generator, sample_other
+
+
+class TestGenerators:
+    def test_mersenne_twister_backed(self):
+        generator = make_generator(0)
+        assert isinstance(generator.bit_generator, np.random.MT19937)
+
+    def test_seed_reproducible(self):
+        a = make_generator(7).random(5)
+        b = make_generator(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            make_generator(1).random(5), make_generator(2).random(5)
+        )
+
+
+class TestRandomSource:
+    def test_streams_independent_and_stable(self):
+        source_a = RandomSource(3)
+        source_b = RandomSource(3)
+        s1a = source_a.stream("x").random(4)
+        s2a = source_a.stream("y").random(4)
+        s1b = source_b.stream("x").random(4)
+        s2b = source_b.stream("y").random(4)
+        assert np.array_equal(s1a, s1b)
+        assert np.array_equal(s2a, s2b)
+        assert not np.array_equal(s1a, s2a)
+
+    def test_spawn_counter(self):
+        source = RandomSource(0)
+        source.stream()
+        source.stream()
+        assert source.spawned == 2
+
+    def test_root_generator_usable(self):
+        assert 0 <= RandomSource(1).root.random() < 1
+
+
+class TestSampleOther:
+    def test_statistics_exact_support(self):
+        rng = make_generator(9)
+        actors = np.full(5000, 2, dtype=np.int64)
+        targets = sample_other(rng, 5, actors, k=2)
+        values = set(np.unique(targets).tolist())
+        assert values == {0, 1, 3, 4}
+
+    def test_requires_two_processes(self):
+        with pytest.raises(ValueError):
+            sample_other(make_generator(0), 1, np.array([0]), k=1)
+
+    def test_shape(self):
+        targets = sample_other(make_generator(0), 10, np.arange(4), k=3)
+        assert targets.shape == (4, 3)

@@ -1,0 +1,109 @@
+"""Tests for probabilistic safety analysis (repro.analysis.safety)."""
+
+import math
+
+import pytest
+
+from repro.analysis.safety import (
+    LongevityEstimate,
+    RealityCheck,
+    expected_longevity_periods,
+    expected_longevity_years,
+    extinction_probability,
+    measure_extinction,
+    replicas_for_extinction_probability,
+)
+from repro.protocols.endemic import EndemicParams, alpha_for_target_stashers
+
+
+class TestFormulas:
+    def test_extinction_probability(self):
+        assert extinction_probability(1) == 0.5
+        assert extinction_probability(10) == pytest.approx(2**-10)
+        assert extinction_probability(0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            extinction_probability(-1)
+
+    def test_longevity_periods(self):
+        assert expected_longevity_periods(20) == 2**20
+
+    def test_paper_number_1024_hosts(self):
+        # N=1024, 50 replicas, 6-minute periods: 1.28e10 years.
+        years = expected_longevity_years(50, period_seconds=360)
+        assert years == pytest.approx(1.28e10, rel=0.01)
+
+    def test_paper_number_million_hosts(self):
+        # N=2^20, 100 replicas: 1.45e25 years.
+        years = expected_longevity_years(100, period_seconds=360)
+        assert years == pytest.approx(1.45e25, rel=0.01)
+
+    def test_log_replica_budget(self):
+        y = replicas_for_extinction_probability(1024, c=5.0)
+        assert y == 50.0
+        assert extinction_probability(y) == pytest.approx(1024**-5.0)
+
+    def test_longevity_estimate_row(self):
+        row = LongevityEstimate.of(1024, 50)
+        assert row.extinction_probability == pytest.approx(2**-50)
+        assert row.expected_years == pytest.approx(1.28e10, rel=0.01)
+
+
+class TestRealityCheck:
+    def test_paper_bandwidth(self):
+        params = EndemicParams(alpha=1e-6, gamma=1e-3, b=2)
+        check = RealityCheck.of(params, 100_000)
+        assert check.bandwidth_bps_per_host == pytest.approx(3.92e-3, rel=0.02)
+
+    def test_store_duration(self):
+        params = EndemicParams(alpha=1e-6, gamma=1e-3, b=2)
+        check = RealityCheck.of(params, 100_000)
+        # 1/gamma = 1000 periods = 100 hours at 6-minute periods.
+        assert check.mean_store_periods == pytest.approx(1000.0)
+
+    def test_store_fraction(self):
+        params = EndemicParams(alpha=1e-6, gamma=1e-3, b=2)
+        check = RealityCheck.of(params, 100_000)
+        assert check.store_fraction == pytest.approx(1e-3, rel=0.01)
+
+    def test_bandwidth_scales_with_file_size(self):
+        params = EndemicParams(alpha=1e-6, gamma=1e-3, b=2)
+        small = RealityCheck.of(params, 100_000, file_size_bytes=44.1e3)
+        big = RealityCheck.of(params, 100_000, file_size_bytes=88.2e3)
+        assert big.bandwidth_bps_per_host == pytest.approx(
+            2 * small.bandwidth_bps_per_host
+        )
+
+
+class TestEmpiricalExtinction:
+    def test_tiny_population_sometimes_dies(self):
+        # ~2 equilibrium stashers: extinction within the horizon should
+        # be common -- and must be detected.
+        n = 300
+        alpha = alpha_for_target_stashers(n, 2.0, gamma=0.2, b=2)
+        params = EndemicParams(alpha=alpha, gamma=0.2, b=2)
+        trial = measure_extinction(params, n=n, trials=10, horizon_periods=400, seed=0)
+        assert 0 < trial.extinctions <= 10
+
+    def test_more_replicas_fewer_extinctions(self):
+        n = 300
+        gamma = 0.2
+        sparse = EndemicParams(
+            alpha=alpha_for_target_stashers(n, 2.0, gamma, 2), gamma=gamma, b=2
+        )
+        dense = EndemicParams(
+            alpha=alpha_for_target_stashers(n, 12.0, gamma, 2), gamma=gamma, b=2
+        )
+        sparse_trial = measure_extinction(sparse, n, trials=8, horizon_periods=300, seed=1)
+        dense_trial = measure_extinction(dense, n, trials=8, horizon_periods=300, seed=1)
+        assert dense_trial.extinctions <= sparse_trial.extinctions
+
+    def test_probability_property(self):
+        trial = measure_extinction(
+            EndemicParams(
+                alpha=alpha_for_target_stashers(200, 2.0, 0.2, 2), gamma=0.2, b=2
+            ),
+            n=200, trials=4, horizon_periods=100, seed=2,
+        )
+        assert 0.0 <= trial.probability <= 1.0

@@ -1,0 +1,91 @@
+"""Tests for the stability classifier (repro.analysis.stability)."""
+
+import pytest
+
+from repro.analysis.stability import (
+    classify_equilibrium,
+    classify_trace_determinant,
+    endemic_stability,
+    spectral_abscissa,
+)
+from repro.odes import library
+
+
+class TestTraceDetChart:
+    def test_saddle(self):
+        assert classify_trace_determinant(0.5, -1.0) == "saddle point"
+
+    def test_stable_node(self):
+        assert classify_trace_determinant(-3.0, 2.0) == "stable node"
+
+    def test_stable_spiral(self):
+        assert classify_trace_determinant(-1.0, 2.0) == "stable spiral"
+
+    def test_unstable_node(self):
+        assert classify_trace_determinant(3.0, 2.0) == "unstable node"
+
+    def test_unstable_spiral(self):
+        assert classify_trace_determinant(1.0, 2.0) == "unstable spiral"
+
+    def test_center(self):
+        assert classify_trace_determinant(0.0, 1.0) == "center"
+
+    def test_degenerate_node(self):
+        assert classify_trace_determinant(-2.0, 1.0) == "stable degenerate node"
+
+    def test_non_isolated(self):
+        assert classify_trace_determinant(-1.0, 0.0) == "non-isolated equilibria"
+
+
+class TestEndemicStability:
+    def test_fig2_stable_spiral(self):
+        verdict = endemic_stability(alpha=0.01, gamma=1.0, beta=4.0)
+        assert verdict.label == "stable spiral"
+        assert verdict.stable and verdict.oscillatory
+
+    def test_fig5_configuration_stable(self):
+        verdict = endemic_stability(alpha=1e-6, gamma=1e-3, beta=4.0)
+        assert verdict.stable
+
+    def test_node_regime_exists(self):
+        # Large alpha relative to gamma: discriminant goes positive.
+        verdict = endemic_stability(alpha=1.0, gamma=0.001, beta=4.0)
+        assert verdict.label == "stable node"
+
+    def test_always_stable_sweep(self):
+        for alpha in (1e-5, 0.01, 1.0):
+            for gamma in (0.001, 0.5, 1.0):
+                verdict = endemic_stability(alpha=alpha, gamma=gamma, beta=4.0)
+                assert verdict.stable, (alpha, gamma)
+
+    def test_render(self):
+        text = endemic_stability(alpha=0.01, gamma=1.0, beta=4.0).render()
+        assert "stable spiral" in text and "tau=" in text
+
+
+class TestSystemClassification:
+    def test_matches_paper_for_lv(self, lv_system):
+        assert classify_equilibrium(
+            lv_system, {"x": 1.0, "y": 0.0, "z": 0.0}
+        ).stable
+        assert classify_equilibrium(
+            lv_system, {"x": 0.0, "y": 1.0, "z": 0.0}
+        ).stable
+        assert (
+            classify_equilibrium(
+                lv_system, {"x": 1 / 3, "y": 1 / 3, "z": 1 / 3}
+            ).label
+            == "saddle point"
+        )
+        assert not classify_equilibrium(
+            lv_system, {"x": 0.0, "y": 0.0, "z": 1.0}
+        ).stable
+
+    def test_endemic_equilibrium_verdict(self, endemic_system, fig2_params):
+        verdict = classify_equilibrium(endemic_system, fig2_params.equilibrium())
+        assert verdict.label == "stable spiral"
+        assert verdict.trace == pytest.approx(fig2_params.trace(), rel=1e-9)
+
+    def test_spectral_abscissa_signs(self, lv_system):
+        assert spectral_abscissa(lv_system, {"x": 1.0, "y": 0.0, "z": 0.0}) < 0
+        assert spectral_abscissa(lv_system, {"x": 0.0, "y": 0.0, "z": 1.0}) > 0

@@ -1,0 +1,110 @@
+"""Cross-module integration: the file store under realistic stress.
+
+These tests drive :class:`~repro.store.MigratoryFileStore` through the
+scenarios the paper motivates -- churn, directed attack, multi-file
+workloads -- combining the store, the failure injectors and the churn
+traces in single scenarios.
+"""
+
+import numpy as np
+import pytest
+
+from repro.protocols.endemic import EndemicParams
+from repro.runtime import generate_trace
+from repro.store import MigratoryFileStore
+
+
+@pytest.fixture
+def params():
+    return EndemicParams(alpha=0.01, gamma=0.1, b=2)
+
+
+class TestMultiFileWorkload:
+    def test_ten_files_all_survive(self, params):
+        store = MigratoryFileStore(n=600, params=params, seed=0)
+        for index in range(10):
+            store.insert(f"file-{index}", size_bytes=1e4 * (index + 1))
+        store.tick(400)
+        assert store.lost_files() == []
+        for index in range(10):
+            assert store.replica_count(f"file-{index}") > 0
+
+    def test_files_use_independent_randomness(self, params):
+        store = MigratoryFileStore(n=600, params=params, seed=1)
+        store.insert("a")
+        store.insert("b")
+        store.tick(300)
+        # Independent protocol instances: replica sets differ.
+        a = set(store.locate("a").tolist())
+        b = set(store.locate("b").tolist())
+        assert a != b
+
+    def test_storage_load_spreads_over_hosts(self, params):
+        store = MigratoryFileStore(n=400, params=params, seed=2)
+        for index in range(6):
+            store.insert(f"f{index}")
+        store.tick(200)
+        # Count hosts ever holding anything over a window.
+        holders = set()
+        for _ in range(50):
+            store.tick(1)
+            load = store.storage_load()
+            holders.update(np.nonzero(load > 0)[0].tolist())
+        # Many distinct hosts participate, not a fixed subset.
+        assert len(holders) > 150
+
+
+class TestChurnScenario:
+    def test_store_survives_trace_churn(self, params):
+        n = 500
+        store = MigratoryFileStore(n=n, params=params, seed=3)
+        store.insert("persistent.dat")
+        store.tick(200)  # reach equilibrium first
+        trace = generate_trace(n, duration_hours=20, seed=4)
+        offline = set(np.nonzero(~trace.initially_online)[0].tolist())
+        store.crash_hosts(offline)
+        cursor = 0
+        events = trace.events
+        for period in range(200):
+            now_hours = period / 10.0
+            ups, downs = [], []
+            while cursor < len(events) and events[cursor].time_hours <= now_hours:
+                event = events[cursor]
+                (ups if event.online else downs).append(event.host)
+                cursor += 1
+            if downs:
+                store.crash_hosts(downs)
+            if ups:
+                store.recover_hosts(ups)
+            store.tick(1)
+        assert store.lost_files() == []
+        assert store.replica_count("persistent.dat") > 0
+
+
+class TestAttackScenario:
+    def test_repeated_snapshot_attacks_fail(self, params):
+        """An attacker repeatedly locates and crashes all current
+        replica holders, with a delay between location and strike; the
+        migratory object survives a bounded campaign."""
+        n = 1500
+        store = MigratoryFileStore(n=n, params=params, seed=5)
+        store.insert("target.doc")
+        store.tick(300)
+        for _ in range(4):  # four reconnaissance+strike cycles
+            snapshot = store.locate("target.doc").tolist()
+            store.tick(15)  # time to mount the attack
+            store.crash_hosts(snapshot)
+            store.tick(60)  # protocol keeps running
+        assert store.replica_count("target.doc") > 0
+        assert "target.doc" not in store.lost_files()
+
+    def test_instant_strike_destroys_object(self, params):
+        """Zero-delay wipeout of all holders kills the object --
+        Theorem 2's impossibility, and the reason safety is only
+        probabilistic."""
+        store = MigratoryFileStore(n=300, params=params, seed=6)
+        store.insert("doomed.doc")
+        store.tick(200)
+        store.crash_hosts(store.locate("doomed.doc").tolist())
+        store.tick(50)
+        assert "doomed.doc" in store.lost_files()

@@ -1,0 +1,139 @@
+"""Executable forms of the paper's theorems, swept with hypothesis.
+
+Each test turns one formal statement into a property checked across the
+parameter space (closed forms) or across random systems (simulation).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mean_field import compare_trajectory, discrete_mean_field
+from repro.analysis.stability import endemic_stability
+from repro.odes import find_equilibria, integrate, library
+from repro.protocols.endemic import EndemicParams
+from repro.synthesis import synthesize
+
+rates = st.floats(min_value=1e-6, max_value=1.0,
+                  allow_nan=False, allow_infinity=False)
+fanouts = st.integers(min_value=1, max_value=64)
+
+
+class TestTheorem3:
+    """The non-trivial endemic equilibrium is always stable."""
+
+    @given(alpha=rates, gamma=rates, b=fanouts)
+    def test_trace_negative_det_positive(self, alpha, gamma, b):
+        params = EndemicParams(alpha=alpha, gamma=gamma, b=b)
+        assert params.trace() < 0
+        assert params.determinant() > 0
+
+    @given(alpha=rates, gamma=rates, b=fanouts)
+    def test_verdict_always_stable(self, alpha, gamma, b):
+        verdict = endemic_stability(alpha, gamma, 2.0 * b)
+        assert verdict.stable
+
+    @given(alpha=rates, gamma=rates, b=fanouts)
+    def test_equilibrium_on_simplex(self, alpha, gamma, b):
+        params = EndemicParams(alpha=alpha, gamma=gamma, b=b)
+        equilibrium = params.equilibrium()
+        assert sum(equilibrium.values()) == pytest.approx(1.0)
+        assert all(v >= 0 for v in equilibrium.values())
+
+    @settings(max_examples=15, deadline=None)
+    @given(alpha=st.floats(min_value=1e-3, max_value=1.0),
+           gamma=st.floats(min_value=1e-2, max_value=1.0),
+           b=st.integers(min_value=1, max_value=8))
+    def test_ode_flows_into_equilibrium(self, alpha, gamma, b):
+        """Integrate from a perturbed start: the deviation shrinks."""
+        params = EndemicParams(alpha=alpha, gamma=gamma, b=b)
+        system = params.system()
+        equilibrium = params.equilibrium()
+        start = {
+            "x": equilibrium["x"] * 1.05,
+            "y": equilibrium["y"] * 1.05,
+            "z": 1.0 - equilibrium["x"] * 1.05 - equilibrium["y"] * 1.05,
+        }
+        if start["z"] < 0:
+            return  # perturbation fell off the simplex; skip
+        horizon = 50.0 / min(alpha, gamma)  # a few relaxation times
+        trajectory = integrate(system, start, t_end=horizon)
+        final_dev = abs(trajectory.final["x"] - equilibrium["x"])
+        initial_dev = abs(start["x"] - equilibrium["x"])
+        assert final_dev < initial_dev
+
+
+class TestTheorem4:
+    """LV: (1,0)/(0,1) stable, (0,0) unstable, (1/3,1/3) saddle; the
+    side of the x=y diagonal decides the winner."""
+
+    @given(rate=st.floats(min_value=0.5, max_value=5.0))
+    def test_equilibrium_classification(self, rate):
+        system = library.lv(rate)
+        labels = {}
+        for e in find_equilibria(system):
+            key = tuple(round(v, 2) for v in e.vector())
+            labels[key] = e.classification
+        assert labels[(1.0, 0.0, 0.0)] == "stable node"
+        assert labels[(0.0, 1.0, 0.0)] == "stable node"
+        assert labels[(0.0, 0.0, 1.0)] == "unstable node"
+        assert labels[(0.33, 0.33, 0.33)] == "saddle point"
+
+    @settings(max_examples=15, deadline=None)
+    @given(x0=st.floats(min_value=0.05, max_value=0.9),
+           y0=st.floats(min_value=0.05, max_value=0.9))
+    def test_diagonal_decides_winner(self, x0, y0):
+        if x0 + y0 > 1.0 or abs(x0 - y0) < 0.02:
+            return  # off-simplex or too close to the saddle separatrix
+        trajectory = integrate(
+            library.lv(), {"x": x0, "y": y0, "z": 1 - x0 - y0}, t_end=40.0
+        )
+        if x0 > y0:
+            assert trajectory.final["x"] > 0.99
+        else:
+            assert trajectory.final["y"] > 0.99
+
+
+class TestTheorem1And5:
+    """Synthesized protocols track their source equations."""
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(beta=st.floats(min_value=0.3, max_value=1.0),
+           gamma=st.floats(min_value=0.05, max_value=0.25),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_sis_simulation_tracks_equations(self, beta, gamma, seed):
+        spec = synthesize(library.sis(beta=beta, gamma=gamma))
+        n = 20_000
+        comparison = compare_trajectory(
+            spec, n=n, initial_counts={"s": n - n // 10, "i": n // 10},
+            periods=80, seed=seed, reference="discrete",
+        )
+        assert comparison.worst_rms_fraction_error() < 5.0 / np.sqrt(n)
+
+    def test_discrete_map_fixed_point_is_ode_equilibrium(self):
+        spec = synthesize(library.endemic(alpha=0.01, gamma=0.1, b=2))
+        params = EndemicParams(alpha=0.01, gamma=0.1, b=2)
+        series = discrete_mean_field(spec, params.equilibrium(), periods=50)
+        for state, value in params.equilibrium().items():
+            assert series[state][-1] == pytest.approx(value, rel=1e-9)
+
+
+class TestTheorem2:
+    """No migration protocol achieves deterministic safety: if every
+    responsible process crashes simultaneously, the object is gone."""
+
+    def test_simultaneous_crash_of_all_stashers_kills_object(self):
+        from repro.protocols.endemic import STASH, figure1_protocol
+        from repro.runtime import RoundEngine
+
+        params = EndemicParams(alpha=0.05, gamma=0.2, b=2)
+        spec = figure1_protocol(params)
+        engine = RoundEngine(
+            spec, n=500, initial=params.equilibrium_counts(500), seed=0
+        )
+        engine.run(50)
+        engine.crash(engine.members_in(STASH))
+        engine.run(200)
+        assert engine.counts()[STASH] == 0  # object unrecoverable
