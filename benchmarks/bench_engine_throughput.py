@@ -1,13 +1,15 @@
 """PERF: simulation-substrate throughput.
 
 Not a paper figure -- this measures the repository's own substrates so
-regressions in the vectorized round engine or the DES kernel are
-caught.  Unlike the figure benches (one-shot experiments), these are
-honest repeated-timing benchmarks.
+regressions in the vectorized round engine, the batch engine or the
+DES kernel are caught.  Unlike the figure benches (one-shot
+experiments), these are honest repeated-timing benchmarks.
 
 Reference points: the paper's experiments need 100,000-host groups over
 thousands of periods (Figures 5-7, 11-12); the round engine sustains
-that on a laptop.
+that on a laptop, and the batch engine runs a 32-trial ensemble period
+for a fraction of 32 serial periods (see bench_batch_throughput for
+the end-to-end comparison).
 """
 
 import pytest
@@ -16,7 +18,12 @@ from bench_util import scaled
 
 from repro.odes import library
 from repro.protocols.endemic import EndemicParams, figure1_protocol
-from repro.runtime import AgentSimulation, Environment, RoundEngine
+from repro.runtime import (
+    AgentSimulation,
+    BatchRoundEngine,
+    Environment,
+    RoundEngine,
+)
 from repro.synthesis import synthesize
 
 
@@ -45,6 +52,18 @@ def lv_engine_100k():
     return engine
 
 
+@pytest.fixture(scope="module")
+def endemic_batch_32x10k():
+    params = EndemicParams(alpha=1e-6, gamma=1e-3, b=2)
+    n = scaled(10_000, minimum=2_000)
+    engine = BatchRoundEngine(
+        figure1_protocol(params), n=n, trials=32,
+        initial=params.equilibrium_counts(n), seed=243,
+    )
+    engine.run(50)  # settle
+    return engine
+
+
 def test_round_engine_endemic_period(benchmark, endemic_engine_100k):
     """One protocol period, endemic at N=100,000 (sparse activity)."""
     benchmark(endemic_engine_100k.step)
@@ -53,6 +72,15 @@ def test_round_engine_endemic_period(benchmark, endemic_engine_100k):
 def test_round_engine_lv_period(benchmark, lv_engine_100k):
     """One protocol period, LV at N=100,000 (all states active)."""
     benchmark(lv_engine_100k.step)
+
+
+def test_batch_engine_endemic_period(benchmark, endemic_batch_32x10k):
+    """One *ensemble* period: 32 endemic trials at N=10,000 each.
+
+    Compare against 32x the per-trial cost of the serial engine: the
+    batched period should cost a small fraction of that.
+    """
+    benchmark(endemic_batch_32x10k.step)
 
 
 def test_agent_sim_period(benchmark):

@@ -1,4 +1,4 @@
-"""FIG5: endemic protocol under a massive failure.
+"""FIG5: endemic protocol under a massive failure (batched ensemble).
 
 Paper: Figure 5 -- N = 100,000, b = 2, alpha = 1e-6, gamma = 1e-3.
 Half the hosts crash at t = 5000.  The stasher count drops by a factor
@@ -6,6 +6,10 @@ of about two and restabilizes; the receptive count is *unchanged*,
 because after the failure half of all contacts hit crashed hosts,
 halving the effective b and doubling the equilibrium receptive
 fraction of the (halved) population.
+
+The paper plots one run; this bench runs a 6-trial ensemble on the
+batch engine and asserts the shape on the ensemble means (the same
+claims, de-flaked), reporting the per-trial spread alongside.
 """
 
 import numpy as np
@@ -20,11 +24,12 @@ from repro.viz.ascii_plot import render_series
 def test_fig5_endemic_massive_failure(run_once):
     data = run_once(figure5_run)
     recorder, fail_at, total = data["recorder"], data["fail_at"], data["total"]
-    params, n = data["params"], data["n"]
+    params, n, trials = data["params"], data["n"], data["trials"]
 
     times = recorder.times
-    stash = recorder.counts("y")
-    receptive = recorder.counts("x")
+    stash = recorder.mean_counts("y")
+    receptive = recorder.mean_counts("x")
+    stash_trials = recorder.counts("y")  # (M, periods)
 
     def window_mean(series, lo, hi):
         mask = (times >= lo) & (times <= hi)
@@ -35,6 +40,10 @@ def test_fig5_endemic_massive_failure(run_once):
     pre_rcptv = window_mean(receptive, int(fail_at * 0.6), fail_at - 1)
     post_rcptv = window_mean(receptive, int(total * 0.9), total)
 
+    # Per-trial post-failure stash means: the ensemble spread.
+    post_mask = (times >= int(total * 0.9)) & (times <= total)
+    post_stash_trials = stash_trials[:, post_mask].mean(axis=1)
+
     eq = params.equilibrium_counts(n)
     rows = [
         ("stashers", f"{eq['y']:.1f}", f"{pre_stash:.1f}", f"{post_stash:.1f}",
@@ -43,7 +52,7 @@ def test_fig5_endemic_massive_failure(run_once):
          f"{pre_rcptv / max(post_rcptv, 1e-9):.2f}x"),
     ]
     table = format_table(
-        ["state", "analytic eq.", f"pre-failure mean", "post-failure mean",
+        ["state", "analytic eq.", "pre-failure mean", "post-failure mean",
          "pre/post"],
         rows,
     )
@@ -53,12 +62,15 @@ def test_fig5_endemic_massive_failure(run_once):
         {"Stash:Alive": stash[mask], "Rcptv:Alive": receptive[mask]},
         width=70, height=18,
         title=f"Figure 5: massive failure of 50% at t={fail_at} "
-              f"(N={n}, b=2, alpha=1e-6, gamma=1e-3)",
+              f"(N={n}, b=2, alpha=1e-6, gamma=1e-3, "
+              f"ensemble mean of {trials} trials)",
     )
     report("fig5_endemic_massive_failure", "\n".join([
-        f"N={n}  failure at t={fail_at}  horizon t={total}",
+        f"N={n}  trials={trials}  failure at t={fail_at}  horizon t={total}",
         "paper shape: stashers drop ~2x, receptives unchanged, quick "
         "restabilization",
+        f"post-failure stash means per trial: "
+        f"{np.array2string(post_stash_trials, precision=1)}",
         "",
         table,
         "",
@@ -69,5 +81,5 @@ def test_fig5_endemic_massive_failure(run_once):
     assert post_stash == pytest.approx(pre_stash / 2, rel=0.35)
     # Receptives unchanged (the effective-b halving argument).
     assert post_rcptv == pytest.approx(pre_rcptv, rel=0.35)
-    # The object survives the failure.
-    assert data["engine"].counts()["y"] > 0
+    # The object survives the failure in every trial of the ensemble.
+    assert np.all(recorder.last_counts()[:, recorder.states.index("y")] > 0)

@@ -9,7 +9,9 @@ replicas among 2^20 hosts -> 1.45e25 years.
 The closed-form rows are checked exactly; the *shape* of the law
 (each extra replica roughly halves the extinction probability) is
 validated empirically at miniature scale, where extinction is actually
-observable.
+observable.  The empirical trials run as batched ensembles
+(``measure_extinction`` executes on the batch engine), which makes a
+32-trial budget per configuration cheap.
 """
 
 import numpy as np
@@ -35,12 +37,13 @@ def run_empirical():
     300-period horizon spans ~75 generations; the per-generation
     extinction chance (1/2)^y then predicts near-certain extinction at
     y=4, occasional at y=10 and essentially none at y=16 -- a visible
-    gradient within a bench-sized budget.
+    gradient within a bench-sized budget.  Each configuration is one
+    32-trial batched ensemble.
     """
     n = scaled(300, minimum=150)
     gamma = 0.25
     horizon = scaled(300, minimum=150)
-    trials = 24
+    trials = 32
     out = []
     for target in (4.0, 10.0, 16.0):
         params = EndemicParams(
@@ -83,8 +86,8 @@ def test_safety_longevity(run_once):
             closed_rows,
         ),
         "",
-        "empirical extinction at miniature scale "
-        "(N~300, gamma=0.25, horizon ~600 periods):",
+        "empirical extinction at miniature scale, batched ensembles "
+        "(N~300, gamma=0.25, horizon ~300 periods):",
         format_table(
             ["equilibrium stashers", "extinctions", "trials", "frequency"],
             empirical_rows,

@@ -16,6 +16,9 @@ The library is organized in layers:
   endemic migratory replication, LV majority selection, plus baselines.
 * :mod:`repro.analysis` -- perturbation analysis, stability and
   convergence complexity, probabilistic safety, fairness metrics.
+* :mod:`repro.campaign` -- declarative experiment campaigns: grids of
+  protocol x N x loss rate x failure scenario, executed as batched
+  multi-trial ensembles with recorded seeds for bit-for-bit replay.
 * :mod:`repro.store` -- example applications: a migratory replicated
   file store and a majority-vote service.
 
@@ -31,11 +34,20 @@ Quickstart::
                          initial={"x": 9_999, "y": 1})
     result = engine.run(periods=40)
     print(result.final_counts())         # epidemic has taken over
+
+Ensemble quickstart (M trials in one batched engine)::
+
+    from repro.runtime import BatchRoundEngine
+
+    batch = BatchRoundEngine(protocol, n=10_000, trials=32, seed=7,
+                             initial={"x": 9_999, "y": 1})
+    result = batch.run(periods=40)
+    print(result.mean_final_counts())    # ensemble means over 32 trials
 """
 
-from . import analysis, odes, protocols, runtime, store, synthesis, viz
+from . import analysis, campaign, odes, protocols, runtime, store, synthesis, viz
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "odes",
@@ -43,6 +55,7 @@ __all__ = [
     "runtime",
     "protocols",
     "analysis",
+    "campaign",
     "store",
     "viz",
     "__version__",

@@ -8,6 +8,11 @@ Usage::
     python -m repro simulate  equations.txt --n 10000 --periods 200
                                [--initial x=9999 --initial y=1]
                                [--seed 42] [--plot]
+    python -m repro campaign  [--config spec.json | --protocol lv --n 1000
+                               --loss-rate 0.05 --scenario massive-failure]
+                               [--trials 16] [--periods 200] [--workers 4]
+                               [--out results.json] [--dry-run]
+                               [--replay results.json]
 
 ``equations.txt`` holds one equation per line, e.g.::
 
@@ -25,6 +30,14 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from .campaign import (
+    CampaignResult,
+    CampaignSpec,
+    available_protocols,
+    available_scenarios,
+    run_campaign,
+    verify_replay,
+)
 from .odes import auto_rewrite, classify, find_equilibria, integrate, parse_system
 from .runtime import MetricsRecorder, RoundEngine
 from .synthesis import SynthesisError, synthesize
@@ -154,6 +167,109 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _campaign_spec_from_args(args) -> CampaignSpec:
+    if args.config:
+        spec = CampaignSpec.from_json(Path(args.config).read_text())
+        # Explicit flags override the config file's scalar settings.
+        if args.trials is not None:
+            spec.trials = args.trials
+        if args.periods is not None:
+            spec.periods = args.periods
+        if args.seed is not None:
+            spec.base_seed = args.seed
+        if args.stride is not None:
+            spec.stride = args.stride
+        if args.mode is not None:
+            spec.mode = args.mode
+        return spec
+    return CampaignSpec(
+        name=args.name,
+        protocols=args.protocol or ["epidemic-pull"],
+        group_sizes=args.n or [1000],
+        loss_rates=args.loss_rate or [0.0],
+        scenarios=args.scenario or ["none"],
+        trials=args.trials if args.trials is not None else 8,
+        periods=args.periods if args.periods is not None else 100,
+        base_seed=args.seed if args.seed is not None else 0,
+        stride=args.stride if args.stride is not None else 1,
+        mode=args.mode if args.mode is not None else "batch",
+    )
+
+
+def _campaign_table(rows, headers) -> str:
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = lambda cells: "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    return "\n".join(
+        [fmt(headers), fmt(["-" * w for w in widths])] + [fmt(r) for r in rows]
+    )
+
+
+def cmd_campaign(args) -> int:
+    if args.workers < 1:
+        print(f"invalid campaign: workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 1
+    for label, path in (("--replay", args.replay), ("--config", args.config)):
+        if path and not Path(path).is_file():
+            print(f"{label}: no such file: {path}", file=sys.stderr)
+            return 1
+    if args.replay:
+        try:
+            stored = CampaignResult.from_json(Path(args.replay).read_text())
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"invalid results file: {exc}", file=sys.stderr)
+            return 1
+        failures = 0
+        for result in stored.results:
+            ok = verify_replay(result)
+            status = "reproduced" if ok else "MISMATCH"
+            print(f"{result.point.label}: {status}")
+            failures += int(not ok)
+        if failures:
+            print(f"{failures} of {len(stored.results)} points failed to replay")
+            return 1
+        print(f"all {len(stored.results)} points reproduced bit-for-bit")
+        return 0
+
+    try:
+        spec = _campaign_spec_from_args(args)
+        points = spec.expand()
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"invalid campaign: {exc}", file=sys.stderr)
+        return 1
+    print(f"campaign {spec.name!r}: {len(points)} points x "
+          f"{spec.trials} trials x {spec.periods} periods "
+          f"(engine mode: {spec.mode})")
+    if args.dry_run:
+        print()
+        print(_campaign_table(
+            [(p.protocol, p.n, f"{p.loss_rate:g}", p.scenario, p.seed)
+             for p in points],
+            ["protocol", "n", "loss", "scenario", "seed"],
+        ))
+        print()
+        print(f"protocols available: {', '.join(available_protocols())}")
+        print(f"scenarios available: {', '.join(available_scenarios())}")
+        print("dry run: nothing executed")
+        return 0
+
+    def progress(result):
+        top = max(result.summary, key=lambda s: result.summary[s]["mean"])
+        print(f"  {result.point.label}: {result.elapsed_seconds:.2f}s, "
+              f"dominant state {top} "
+              f"(mean {result.summary[top]['mean']:.1f})")
+
+    result = run_campaign(spec, workers=args.workers, progress=progress)
+    if args.out:
+        Path(args.out).write_text(result.to_json())
+        print(f"wrote {len(result.results)} point results to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -210,6 +326,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--plot", action="store_true",
                        help="ASCII plot of the state counts")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a declarative experiment grid on the batch engine",
+    )
+    p_camp.add_argument("--config", help="JSON campaign spec file")
+    p_camp.add_argument("--name", default="campaign", help="campaign name")
+    p_camp.add_argument("--protocol", action="append", default=[],
+                        help="protocol name (repeatable; see --dry-run)")
+    p_camp.add_argument("--n", action="append", type=int, default=[],
+                        help="group size (repeatable)")
+    p_camp.add_argument("--loss-rate", action="append", type=float,
+                        default=[], help="connection failure rate (repeatable)")
+    p_camp.add_argument("--scenario", action="append", default=[],
+                        help="failure scenario name (repeatable)")
+    p_camp.add_argument("--trials", type=int, default=None,
+                        help="trials per point (default 8)")
+    p_camp.add_argument("--periods", type=int, default=None,
+                        help="periods per trial (default 100)")
+    p_camp.add_argument("--seed", type=int, default=None,
+                        help="campaign base seed (default 0)")
+    p_camp.add_argument("--stride", type=int, default=None,
+                        help="record every stride-th period (default 1)")
+    p_camp.add_argument("--mode", choices=("batch", "lockstep"),
+                        default=None,
+                        help="batch engine RNG mode (default batch)")
+    p_camp.add_argument("--workers", type=int, default=1,
+                        help="processes to fan parameter points across")
+    p_camp.add_argument("--out", help="write results JSON here")
+    p_camp.add_argument("--dry-run", action="store_true",
+                        help="print the expanded grid and exit")
+    p_camp.add_argument("--replay", metavar="RESULTS_JSON",
+                        help="re-run a stored results file and verify it "
+                             "reproduces bit-for-bit")
+    p_camp.set_defaults(func=cmd_campaign)
     return parser
 
 

@@ -1,0 +1,131 @@
+"""Campaign grids: declarative specs and their expanded parameter points.
+
+A :class:`CampaignSpec` is plain data -- the cross product of protocol
+names, group sizes, connection-loss rates and failure scenarios, plus
+the per-point trial count and horizon.  :meth:`CampaignSpec.expand`
+produces one :class:`CampaignPoint` per grid cell with a deterministic
+seed spawned from the campaign's base seed, so re-expanding the same
+spec always yields the same seeds and any point can be replayed later.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from itertools import product
+from typing import Dict, List
+
+from ..runtime.rng import spawn_seeds
+from .registry import available_protocols, available_scenarios
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One cell of a campaign grid: a fully-determined experiment."""
+
+    protocol: str
+    n: int
+    loss_rate: float
+    scenario: str
+    trials: int
+    periods: int
+    seed: int
+    stride: int = 1
+    mode: str = "batch"
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.protocol}/n={self.n}/f={self.loss_rate:g}/{self.scenario}"
+        )
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignPoint":
+        return cls(**data)
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative experiment campaign (the grid, not its results)."""
+
+    name: str = "campaign"
+    protocols: List[str] = field(default_factory=lambda: ["epidemic-pull"])
+    group_sizes: List[int] = field(default_factory=lambda: [1000])
+    loss_rates: List[float] = field(default_factory=lambda: [0.0])
+    scenarios: List[str] = field(default_factory=lambda: ["none"])
+    trials: int = 16
+    periods: int = 200
+    base_seed: int = 0
+    stride: int = 1
+    mode: str = "batch"
+
+    def validate(self) -> None:
+        if not self.protocols or not self.group_sizes \
+                or not self.loss_rates or not self.scenarios:
+            raise ValueError("every grid axis needs at least one value")
+        unknown = set(self.protocols) - set(available_protocols())
+        if unknown:
+            raise ValueError(
+                f"unknown protocols {sorted(unknown)}; "
+                f"available: {available_protocols()}"
+            )
+        unknown = set(self.scenarios) - set(available_scenarios())
+        if unknown:
+            raise ValueError(
+                f"unknown scenarios {sorted(unknown)}; "
+                f"available: {available_scenarios()}"
+            )
+        if self.trials < 1 or self.periods < 1:
+            raise ValueError("trials and periods must be >= 1")
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+        for n in self.group_sizes:
+            if n < 2:
+                raise ValueError(f"group sizes must be >= 2, got {n}")
+        for rate in self.loss_rates:
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"loss rate must lie in [0, 1), got {rate}")
+        if self.mode not in ("batch", "lockstep"):
+            raise ValueError(f"mode must be 'batch' or 'lockstep', got {self.mode!r}")
+
+    def expand(self) -> List[CampaignPoint]:
+        """The grid cells, each with its spawned deterministic seed."""
+        self.validate()
+        cells = list(product(
+            self.protocols, self.group_sizes, self.loss_rates, self.scenarios
+        ))
+        seeds = spawn_seeds(self.base_seed, len(cells))
+        return [
+            CampaignPoint(
+                protocol=protocol,
+                n=n,
+                loss_rate=loss_rate,
+                scenario=scenario,
+                trials=self.trials,
+                periods=self.periods,
+                seed=seed,
+                stride=self.stride,
+                mode=self.mode,
+            )
+            for (protocol, n, loss_rate, scenario), seed in zip(cells, seeds)
+        ]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignSpec":
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))

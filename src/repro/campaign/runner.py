@@ -1,0 +1,253 @@
+"""Campaign execution: batch-engine ensembles, fan-out, and replay.
+
+Each :class:`~repro.campaign.grid.CampaignPoint` runs as one
+:class:`~repro.runtime.batch_engine.BatchRoundEngine` ensemble (the
+trial axis is vectorized); independent points fan out across worker
+processes with :mod:`multiprocessing`.  Results carry every seed that
+produced them, so :func:`replay_point` can re-run any point and
+:func:`verify_replay` can check a stored result file bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
+from .grid import CampaignPoint, CampaignSpec
+from .registry import build_protocol, scenario_hook_factory
+
+#: Quantiles reported in point summaries.
+SUMMARY_QUANTILES = (0.25, 0.5, 0.75)
+
+
+@dataclass
+class PointResult:
+    """Outcome of one campaign point: summaries plus replay provenance."""
+
+    point: CampaignPoint
+    states: List[str]
+    trial_seeds: List[int]
+    final_counts: Dict[str, List[int]]
+    summary: Dict[str, Dict[str, float]]
+    mean_trajectory: Dict[str, List[float]]
+    recorded_periods: List[int]
+    mean_alive: List[float]
+    elapsed_seconds: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "point": self.point.to_dict(),
+            "states": list(self.states),
+            "trial_seeds": list(self.trial_seeds),
+            "final_counts": self.final_counts,
+            "summary": self.summary,
+            "mean_trajectory": self.mean_trajectory,
+            "recorded_periods": list(self.recorded_periods),
+            "mean_alive": list(self.mean_alive),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PointResult":
+        return cls(
+            point=CampaignPoint.from_dict(data["point"]),
+            states=list(data["states"]),
+            trial_seeds=list(data["trial_seeds"]),
+            final_counts={k: list(v) for k, v in data["final_counts"].items()},
+            summary={
+                k: {kk: float(vv) for kk, vv in v.items()}
+                for k, v in data["summary"].items()
+            },
+            mean_trajectory={
+                k: list(v) for k, v in data["mean_trajectory"].items()
+            },
+            recorded_periods=list(data["recorded_periods"]),
+            mean_alive=list(data["mean_alive"]),
+            elapsed_seconds=float(data["elapsed_seconds"]),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """All point results of a campaign, JSON round-trippable."""
+
+    spec: CampaignSpec
+    results: List[PointResult] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignResult":
+        return cls(
+            spec=CampaignSpec.from_dict(data["spec"]),
+            results=[PointResult.from_dict(r) for r in data["results"]],
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_dict(json.loads(text))
+
+
+def _make_engine(point: CampaignPoint) -> BatchRoundEngine:
+    spec, initial = build_protocol(point.protocol, point.n)
+    return BatchRoundEngine(
+        spec,
+        n=point.n,
+        trials=point.trials,
+        initial=initial,
+        seed=point.seed,
+        connection_failure_rate=point.loss_rate,
+        mode=point.mode,
+    )
+
+
+def _composite_hook_factory(point: CampaignPoint) -> Callable[[int], Callable]:
+    per_trial = scenario_hook_factory(point)
+
+    def factory(trial: int) -> Callable:
+        hooks = per_trial(trial)
+
+        def composite(view) -> None:
+            for hook in hooks:
+                hook(view)
+
+        return composite
+
+    return factory
+
+
+def run_point(point: CampaignPoint) -> PointResult:
+    """Execute one campaign point as a batched ensemble."""
+    started = time.perf_counter()
+    engine = _make_engine(point)
+    recorder = BatchMetricsRecorder(
+        engine.state_names, point.trials,
+        track_transitions=False, stride=point.stride,
+    )
+    engine.run(
+        point.periods, recorder=recorder,
+        hook_factories=[_composite_hook_factory(point)],
+    )
+    elapsed = time.perf_counter() - started
+
+    final = engine.counts_matrix()
+    summary: Dict[str, Dict[str, float]] = {}
+    final_counts: Dict[str, List[int]] = {}
+    mean_trajectory: Dict[str, List[float]] = {}
+    for index, state in enumerate(engine.state_names):
+        series = final[:, index]
+        stats = {
+            "mean": float(series.mean()),
+            "std": float(series.std()),
+            "min": float(series.min()),
+            "max": float(series.max()),
+        }
+        for q, value in zip(
+            SUMMARY_QUANTILES, np.quantile(series, SUMMARY_QUANTILES)
+        ):
+            stats[f"q{int(q * 100)}"] = float(value)
+        summary[state] = stats
+        final_counts[state] = [int(v) for v in series]
+        mean_trajectory[state] = [
+            float(v) for v in recorder.mean_counts(state)
+        ]
+    return PointResult(
+        point=point,
+        states=list(engine.state_names),
+        trial_seeds=list(engine.trial_seeds),
+        final_counts=final_counts,
+        summary=summary,
+        mean_trajectory=mean_trajectory,
+        recorded_periods=[int(t) for t in recorder.times],
+        mean_alive=[float(v) for v in recorder.mean_alive()],
+        elapsed_seconds=elapsed,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    progress: Optional[Callable[[PointResult], None]] = None,
+) -> CampaignResult:
+    """Run every point of the campaign grid.
+
+    ``workers > 1`` fans the parameter points out across that many
+    processes (each point's trial axis is already vectorized, so the
+    pool parallelizes the *grid*, not the trials).  Results are
+    returned in grid order regardless of completion order.
+    """
+    points = spec.expand()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(points) <= 1:
+        results = []
+        for point in points:
+            result = run_point(point)
+            if progress is not None:
+                progress(result)
+            results.append(result)
+        return CampaignResult(spec=spec, results=results)
+
+    with multiprocessing.Pool(processes=min(workers, len(points))) as pool:
+        indexed: Dict[int, PointResult] = {}
+        jobs = pool.imap_unordered(
+            _run_indexed, list(enumerate(points))
+        )
+        for index, result in jobs:
+            indexed[index] = result
+            if progress is not None:
+                progress(result)
+    results = [indexed[i] for i in range(len(points))]
+    return CampaignResult(spec=spec, results=results)
+
+
+def _run_indexed(indexed_point):
+    index, point = indexed_point
+    return index, run_point(point)
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+def replay_point(point: CampaignPoint) -> np.ndarray:
+    """Re-run a point and return its full ``(M, periods, S)`` count tensor.
+
+    Campaign seeds are recorded in specs and results, so the same point
+    always reproduces the same tensor (same numpy version and mode).
+    """
+    engine = _make_engine(point)
+    recorder = BatchMetricsRecorder(
+        engine.state_names, point.trials,
+        track_transitions=False, stride=point.stride,
+    )
+    engine.run(
+        point.periods, recorder=recorder,
+        hook_factories=[_composite_hook_factory(point)],
+    )
+    return recorder.count_tensor()
+
+
+def verify_replay(result: PointResult) -> bool:
+    """Re-run a recorded point and check it reproduces the stored result."""
+    rerun = run_point(result.point)
+    if rerun.trial_seeds != result.trial_seeds:
+        return False
+    for state in result.states:
+        if rerun.final_counts[state] != result.final_counts[state]:
+            return False
+        if rerun.mean_trajectory[state] != result.mean_trajectory[state]:
+            return False
+    return True

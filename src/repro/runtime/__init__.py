@@ -1,14 +1,21 @@
 """Simulation substrates for synthesized protocols.
 
-Two engines execute any :class:`~repro.synthesis.protocol.ProtocolSpec`:
+Three engines execute any :class:`~repro.synthesis.protocol.ProtocolSpec`,
+ordered from most faithful to fastest:
 
-* :class:`~repro.runtime.round_engine.RoundEngine` -- vectorized
-  synchronous rounds; the faithful reproduction of the paper's C
-  simulator, fast enough for 100,000-host, 10,000-period experiments.
 * :class:`~repro.runtime.agent_sim.AgentSimulation` -- one DES coroutine
   per process over an unreliable latency network with arbitrary period
   phases and clock drift; validates that results are not artifacts of
   synchrony.
+* :class:`~repro.runtime.round_engine.RoundEngine` -- vectorized
+  synchronous rounds for one protocol instance; the faithful
+  reproduction of the paper's C simulator, fast enough for
+  100,000-host, 10,000-period experiments.
+* :class:`~repro.runtime.batch_engine.BatchRoundEngine` -- M independent
+  trials in one ``(M, N)`` state array with per-trial or batched RNG
+  streams; the substrate for every ensemble measurement (means,
+  quantile bands, extinction frequencies) and for the campaign runner
+  (:mod:`repro.campaign`).
 
 Support modules: the DES kernel (:mod:`~repro.runtime.des`,
 :mod:`~repro.runtime.events`), the network model
@@ -19,6 +26,13 @@ Mersenne Twister stream management (:mod:`~repro.runtime.rng`).
 """
 
 from .agent_sim import AgentSimulation
+from .batch_engine import (
+    BatchMetricsRecorder,
+    BatchRoundEngine,
+    BatchRunResult,
+    BatchTrialView,
+    serial_ensemble,
+)
 from .churn import ChurnEvent, ChurnReplayer, ChurnTrace, generate_trace
 from .des import Environment, Interrupted, Process
 from .events import Event, EventQueue
@@ -27,12 +41,18 @@ from .membership import FullMembership, PartialMembership
 from .metrics import MetricsRecorder, WindowStats
 from .network import ContactFailed, LatencyModel, Network
 from .overlay import erdos_renyi_overlay, log_degree, overlay_stats, random_regular_overlay
-from .rng import RandomSource, make_generator, sample_other
-from .round_engine import RoundEngine, RunResult
+from .rng import RandomSource, make_generator, sample_other, spawn_seeds
+from .round_engine import RoundEngine, RunResult, initial_state_vector
 
 __all__ = [
     "RoundEngine",
     "RunResult",
+    "BatchRoundEngine",
+    "BatchRunResult",
+    "BatchMetricsRecorder",
+    "BatchTrialView",
+    "serial_ensemble",
+    "initial_state_vector",
     "AgentSimulation",
     "Environment",
     "Process",
@@ -58,6 +78,7 @@ __all__ = [
     "RandomSource",
     "make_generator",
     "sample_other",
+    "spawn_seeds",
     "log_degree",
     "random_regular_overlay",
     "erdos_renyi_overlay",

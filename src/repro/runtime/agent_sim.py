@@ -11,8 +11,18 @@ artifacts of synchrony.  Per the paper's system model:
   for the group-average period;
 * the network delays and drops messages.
 
-Use this engine for groups up to a few thousand processes; use the
-round engine for the 100,000-host experiments.
+This is the bottom (most faithful, slowest) tier of the three-engine
+hierarchy:
+
+* **agent sim** (this module) -- one coroutine per process, arbitrary
+  period phases, latency, drift.  Use it to check that a result
+  survives asynchrony; groups up to a few thousand processes.
+* **round engine** (:mod:`~repro.runtime.round_engine`) -- one
+  vectorized synchronous instance.  Use it for single-run experiments
+  at the paper's 100,000-host scale.
+* **batch engine** (:mod:`~repro.runtime.batch_engine`) -- M trials in
+  one ``(M, N)`` array.  Use it whenever the claim is an ensemble
+  statement (means, spreads, frequencies) or a campaign grid cell.
 """
 
 from __future__ import annotations

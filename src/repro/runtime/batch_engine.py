@@ -1,0 +1,909 @@
+"""Batched multi-trial execution: M protocol instances in one array.
+
+Every experimental claim in the paper (Figures 5-12) is an *ensemble*
+statement -- means and spreads over many independent runs of N-process
+groups -- and mean-field results of the Bournez et al. kind only hold
+in expectation.  Running the trial axis one :class:`RoundEngine` at a
+time therefore wastes both wall clock and statistical power.  This
+module runs M independent trials in a single ``(M, N)`` int8 state
+array.
+
+This is the top tier of the three-engine hierarchy (agent sim -> round
+engine -> batch engine; see :mod:`repro.runtime.round_engine`).  Use it
+whenever the quantity of interest is an ensemble mean, quantile band,
+or frequency (extinction, accuracy); drop to :class:`RoundEngine` to
+study one run, and to :class:`~repro.runtime.agent_sim.AgentSimulation`
+to check synchrony artifacts.
+
+Two RNG modes trade speed against bitwise reproducibility:
+
+* ``mode="batch"`` (default) -- all trials draw from one root stream
+  and every per-action step (binomial thinning, target sampling,
+  connection-failure masking) is vectorized across the whole batch.
+  Per-state member lists are maintained *incrementally* for
+  sparse-population states (the population-protocol simulation idiom),
+  so a period costs a handful of numpy calls regardless of M.  Trials
+  are statistically independent and distributionally identical to M
+  serial runs, but not draw-for-draw equal to them.
+* ``mode="lockstep"`` -- M embedded :class:`RoundEngine` instances
+  seeded with :func:`~repro.runtime.rng.spawn_seeds` trial seeds.
+  Each trial is *bitwise identical* to a serial ``RoundEngine`` run
+  with the same seed; the speedup is limited to shared recording
+  overhead.  This is the validation bridge (see
+  ``tests/test_batch_engine.py``) and the replay mode for debugging a
+  single ensemble member.
+
+Both modes record into a :class:`BatchMetricsRecorder`, which stores
+``(M, periods, states)`` count tensors and provides the mean/quantile
+reducers the figure benches aggregate with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..synthesis.protocol import ProtocolSpec
+from .metrics import MetricsRecorder
+from .round_engine import RoundEngine, _compile, initial_state_vector
+from .rng import RandomSource, spawn_seeds
+
+#: A per-trial hook factory: called with the trial index, returns a hook
+#: ``hook(view)`` where ``view`` offers the RoundEngine mutation surface
+#: (``period``, ``crash``, ``crash_fraction``, ``recover``,
+#: ``members_in``, ...).  Stock hooks from :mod:`repro.runtime.failures`
+#: and :mod:`repro.runtime.churn` work unchanged:
+#: ``lambda m: MassiveFailure(at_period=500, fraction=0.5)``.
+HookFactory = Callable[[int], Callable[[object], None]]
+
+Edge = Tuple[str, str]
+
+
+class BatchMetricsRecorder:
+    """Per-period ensemble observations as ``(M, periods, states)`` tensors.
+
+    The batched sibling of :class:`~repro.runtime.metrics.MetricsRecorder`:
+    one :meth:`record` call stores a full ``(M, S)`` count matrix, and the
+    accessors return count tensors plus mean/quantile reducers over the
+    trial axis.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[str],
+        trials: int,
+        track_transitions: bool = True,
+        stride: int = 1,
+    ):
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.states = tuple(states)
+        self.trials = trials
+        self.track_transitions = track_transitions
+        self.stride = stride
+        self.periods: List[int] = []
+        self._counts: List[np.ndarray] = []      # each (M, S)
+        self._alive: List[np.ndarray] = []       # each (M,)
+        self._transitions: List[Dict[Edge, np.ndarray]] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        period: int,
+        counts: np.ndarray,
+        alive: np.ndarray,
+        transitions: Optional[Mapping[Edge, np.ndarray]] = None,
+    ) -> None:
+        """Store one period's ``(M, S)`` counts (subject to the stride)."""
+        if period % self.stride != 0:
+            return
+        counts = np.asarray(counts)
+        if counts.shape != (self.trials, len(self.states)):
+            raise ValueError(
+                f"counts shape {counts.shape} != "
+                f"({self.trials}, {len(self.states)})"
+            )
+        self.periods.append(period)
+        self._counts.append(np.array(counts, dtype=np.int64, copy=True))
+        self._alive.append(np.array(alive, dtype=np.int64, copy=True))
+        if self.track_transitions:
+            self._transitions.append(
+                {e: np.array(v, dtype=np.int64, copy=True)
+                 for e, v in (transitions or {}).items()}
+            )
+
+    # ------------------------------------------------------------------
+    # Tensors
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        return np.array(self.periods, dtype=np.int64)
+
+    def count_tensor(self) -> np.ndarray:
+        """All counts as one ``(M, periods, S)`` tensor."""
+        if not self._counts:
+            return np.empty((self.trials, 0, len(self.states)), dtype=np.int64)
+        return np.stack(self._counts, axis=1)
+
+    def counts(self, state: str) -> np.ndarray:
+        """Count series of one state, shape ``(M, periods)``."""
+        index = self.states.index(state)
+        if not self._counts:
+            return np.empty((self.trials, 0), dtype=np.int64)
+        return np.stack([c[:, index] for c in self._counts], axis=1)
+
+    def alive_tensor(self) -> np.ndarray:
+        """Alive population per trial and period, shape ``(M, periods)``."""
+        if not self._alive:
+            return np.empty((self.trials, 0), dtype=np.int64)
+        return np.stack(self._alive, axis=1)
+
+    def fractions(self, state: str) -> np.ndarray:
+        """Per-trial state fractions among alive, shape ``(M, periods)``."""
+        alive = self.alive_tensor().astype(float)
+        alive[alive == 0] = np.nan
+        return self.counts(state) / alive
+
+    def transition_tensor(self, edge: Edge) -> np.ndarray:
+        """Per-trial transitions along one edge, shape ``(M, periods)``."""
+        if not self.track_transitions:
+            raise RuntimeError("transition tracking is disabled")
+        zero = np.zeros(self.trials, dtype=np.int64)
+        if not self._transitions:
+            return np.empty((self.trials, 0), dtype=np.int64)
+        return np.stack(
+            [t.get(edge, zero) for t in self._transitions], axis=1
+        )
+
+    def edges_seen(self) -> List[Edge]:
+        """Every edge that carried at least one transition in any trial."""
+        seen: List[Edge] = []
+        for period_transitions in self._transitions:
+            for edge, counts in period_transitions.items():
+                if counts.any() and edge not in seen:
+                    seen.append(edge)
+        return sorted(seen)
+
+    # ------------------------------------------------------------------
+    # Reducers over the trial axis
+    # ------------------------------------------------------------------
+    def mean_counts(self, state: str) -> np.ndarray:
+        """Ensemble-mean count series, shape ``(periods,)``."""
+        return self.counts(state).mean(axis=0)
+
+    def std_counts(self, state: str) -> np.ndarray:
+        """Ensemble standard deviation series, shape ``(periods,)``."""
+        return self.counts(state).std(axis=0)
+
+    def quantile_counts(self, state: str, q) -> np.ndarray:
+        """Ensemble quantiles per period (``q`` scalar or sequence)."""
+        return np.quantile(self.counts(state), q, axis=0)
+
+    def mean_fractions(self, state: str) -> np.ndarray:
+        """Ensemble-mean fraction series, shape ``(periods,)``."""
+        return np.nanmean(self.fractions(state), axis=0)
+
+    def mean_alive(self) -> np.ndarray:
+        """Ensemble-mean alive population per period."""
+        return self.alive_tensor().mean(axis=0)
+
+    def mean_transitions(self, edge: Edge) -> np.ndarray:
+        """Ensemble-mean transition series along one edge."""
+        return self.transition_tensor(edge).mean(axis=0)
+
+    def last_counts(self) -> np.ndarray:
+        """Counts at the most recent recorded period, shape ``(M, S)``."""
+        if not self._counts:
+            return np.zeros((self.trials, len(self.states)), dtype=np.int64)
+        return self._counts[-1].copy()
+
+
+@dataclass
+class BatchRunResult:
+    """Outcome of a :meth:`BatchRoundEngine.run` call."""
+
+    engine: "BatchRoundEngine"
+    recorder: BatchMetricsRecorder
+
+    def final_counts(self) -> Dict[str, np.ndarray]:
+        """Per-state final counts, each an ``(M,)`` array."""
+        matrix = self.engine.counts_matrix()
+        return {
+            s: matrix[:, i].copy()
+            for i, s in enumerate(self.engine.state_names)
+        }
+
+    def mean_final_counts(self) -> Dict[str, float]:
+        """Ensemble means of the final per-state counts."""
+        return {s: float(v.mean()) for s, v in self.final_counts().items()}
+
+
+class BatchTrialView:
+    """One trial of a batch-mode engine, quacking like a RoundEngine.
+
+    Hooks written against :class:`RoundEngine` (failure injectors, churn
+    replayers) receive one of these per trial.  All *mutations* must go
+    through the methods below -- they keep the engine's incremental
+    count and membership bookkeeping consistent; writing directly to the
+    ``alive`` / ``states`` row views would corrupt it.
+    """
+
+    def __init__(self, engine: "BatchRoundEngine", trial: int):
+        self._engine = engine
+        self.trial = trial
+        self.n = engine.n
+
+    @property
+    def period(self) -> int:
+        return self._engine.period
+
+    @property
+    def alive(self) -> np.ndarray:
+        """Read-only row view of this trial's alive flags."""
+        return self._engine.alive[self.trial]
+
+    @property
+    def states(self) -> np.ndarray:
+        """Read-only row view of this trial's state array."""
+        return self._engine.states[self.trial]
+
+    def state_id(self, name: str) -> int:
+        return self._engine.state_id(name)
+
+    def counts(self) -> Dict[str, int]:
+        row = self._engine.counts_matrix()[self.trial]
+        return {s: int(row[i]) for i, s in enumerate(self._engine.state_names)}
+
+    def alive_count(self) -> int:
+        return int(self._engine.alive_counts()[self.trial])
+
+    def members_in(self, state: str) -> np.ndarray:
+        sid = self._engine.state_id(state)
+        return np.flatnonzero(
+            (self.states == sid) & self.alive
+        )
+
+    def crash(self, hosts: np.ndarray) -> None:
+        self._engine._crash(self.trial, np.asarray(hosts, dtype=np.int64))
+
+    def crash_fraction(self, fraction: float) -> np.ndarray:
+        return self._engine._crash_fraction(self.trial, fraction)
+
+    def recover(self, hosts: np.ndarray, state: Optional[str] = None) -> None:
+        self._engine._recover(
+            self.trial, np.asarray(hosts, dtype=np.int64), state
+        )
+
+    def set_states(self, hosts: np.ndarray, state: str) -> None:
+        self._engine._set_states(
+            self.trial, np.asarray(hosts, dtype=np.int64), state
+        )
+
+
+class BatchRoundEngine:
+    """M independent synchronous-round trials in one ``(M, N)`` array.
+
+    Parameters
+    ----------
+    spec:
+        The protocol to execute (same for every trial).
+    n:
+        Group size per trial.
+    trials:
+        Number of independent trials M.
+    initial:
+        Initial distribution, counts or fractions (resolved identically
+        to :class:`RoundEngine` via ``initial_state_vector``); every
+        trial starts from the same counts with its own placement
+        shuffle.
+    seed:
+        Root seed.  In lockstep mode the trial seeds are
+        ``spawn_seeds(seed, trials)`` (also exposed as
+        :attr:`trial_seeds`), so trial ``m`` reproduces
+        ``RoundEngine(..., seed=trial_seeds[m])`` draw for draw.
+    connection_failure_rate:
+        Per-connection failure probability, as for :class:`RoundEngine`.
+    mode:
+        ``"batch"`` (vectorized, default) or ``"lockstep"`` (bitwise
+        serial-equivalent); see the module docstring.
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        n: int,
+        trials: int,
+        initial: Mapping[str, float],
+        seed: Optional[int] = None,
+        connection_failure_rate: float = 0.0,
+        shuffle: bool = True,
+        mode: str = "batch",
+    ):
+        if n < 2:
+            raise ValueError(f"group size must be >= 2, got {n}")
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        if mode not in ("batch", "lockstep"):
+            raise ValueError(f"mode must be 'batch' or 'lockstep', got {mode!r}")
+        if not 0.0 <= connection_failure_rate < 1.0:
+            raise ValueError(
+                f"connection failure rate must lie in [0, 1), got "
+                f"{connection_failure_rate}"
+            )
+        self.spec = spec
+        self.n = n
+        self.trials = trials
+        self.seed = seed
+        self.mode = mode
+        self.connection_failure_rate = connection_failure_rate
+        self.state_names = spec.states
+        self._index = {name: i for i, name in enumerate(spec.states)}
+        self._compiled = _compile(spec)
+        self.period = 0
+        self.last_transitions: Dict[Edge, np.ndarray] = {}
+        self.recovery_state = spec.states[0]
+        self.trial_seeds = spawn_seeds(seed, trials)
+
+        if mode == "lockstep":
+            self._engines = [
+                RoundEngine(
+                    spec, n=n, initial=initial, seed=trial_seed,
+                    connection_failure_rate=connection_failure_rate,
+                    shuffle=shuffle,
+                )
+                for trial_seed in self.trial_seeds
+            ]
+            return
+
+        n_states = len(self.state_names)
+        source = RandomSource(seed)
+        self._rng = source.stream("batch-protocol")
+        self._fault_rngs = [
+            source.stream(f"batch-faults-{m}") for m in range(trials)
+        ]
+        base = initial_state_vector(self.state_names, n, initial)
+        self._states_arr = np.tile(base, (trials, 1))
+        if shuffle:
+            source.stream("batch-shuffle").permuted(
+                self._states_arr, axis=1, out=self._states_arr
+            )
+        self._alive_arr = np.ones((trials, n), dtype=bool)
+        self._states_flat = self._states_arr.reshape(-1)
+        self._alive_flat = self._alive_arr.reshape(-1)
+        self._any_dead = False
+        base_counts = np.bincount(base, minlength=n_states).astype(np.int64)
+        self._counts = np.tile(base_counts, (trials, 1))
+        self._alive_counts = np.full(trials, n, dtype=np.int64)
+        self.total_messages = np.zeros(trials, dtype=np.int64)
+
+        # Incremental membership: states whose member lists are worth
+        # maintaining across periods (population small relative to the
+        # batch) map to flat arrays of *global* ids ``trial * n + host``
+        # holding exactly the alive members.  Everything else is
+        # scanned lazily per period.  ``_referenced`` are the states
+        # whose member lists actions can ask for.
+        self._member_cap = max(4096, (trials * n) // 8)
+        self._members: Dict[int, np.ndarray] = {}
+        self._referenced = {a.actor for a in self._compiled}
+        self._referenced.update(
+            a.token_state for a in self._compiled if a.kind == "tokenize"
+        )
+        self._retune_membership()
+
+    # ------------------------------------------------------------------
+    # Introspection (both modes)
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> np.ndarray:
+        """The ``(M, N)`` state array.
+
+        In batch mode this is the live backing array (mutate only via
+        views); in lockstep mode it is a stacked *snapshot* of the
+        embedded engines' state vectors.
+        """
+        if self.mode == "lockstep":
+            return np.stack([e.states for e in self._engines])
+        return self._states_arr
+
+    @property
+    def alive(self) -> np.ndarray:
+        """The ``(M, N)`` alive flags (see :attr:`states` for semantics)."""
+        if self.mode == "lockstep":
+            return np.stack([e.alive for e in self._engines])
+        return self._alive_arr
+
+    def state_id(self, name: str) -> int:
+        return self._index[name]
+
+    def counts_matrix(self) -> np.ndarray:
+        """Alive counts per state, shape ``(M, S)``."""
+        if self.mode == "lockstep":
+            return np.stack([
+                np.bincount(
+                    e.states[e.alive], minlength=len(self.state_names)
+                ).astype(np.int64)
+                for e in self._engines
+            ])
+        return self._counts.copy()
+
+    def counts(self, state: str) -> np.ndarray:
+        """Alive counts of one state across trials, shape ``(M,)``."""
+        return self.counts_matrix()[:, self._index[state]]
+
+    def mean_counts(self) -> Dict[str, float]:
+        """Ensemble-mean alive count per state."""
+        matrix = self.counts_matrix()
+        return {
+            s: float(matrix[:, i].mean())
+            for i, s in enumerate(self.state_names)
+        }
+
+    def alive_counts(self) -> np.ndarray:
+        """Alive population per trial, shape ``(M,)``."""
+        if self.mode == "lockstep":
+            return np.array([e.alive_count() for e in self._engines])
+        return self._alive_counts.copy()
+
+    def elapsed_time(self) -> float:
+        """ODE time corresponding to the periods run so far."""
+        return self.spec.time_for_periods(self.period)
+
+    def trial_views(self) -> List:
+        """Per-trial hook targets (RoundEngine-compatible)."""
+        if self.mode == "lockstep":
+            return list(self._engines)
+        return [BatchTrialView(self, m) for m in range(self.trials)]
+
+    # ------------------------------------------------------------------
+    # Fault injection (batch mode; lockstep delegates to its engines)
+    # ------------------------------------------------------------------
+    def _crash(self, trial: int, hosts: np.ndarray) -> None:
+        hosts = np.unique(hosts)
+        newly = hosts[self.alive[trial, hosts]]
+        if newly.size == 0:
+            return
+        self.alive[trial, newly] = False
+        self._any_dead = True
+        old_states = self.states[trial, newly]
+        self._counts[trial] -= np.bincount(
+            old_states, minlength=len(self.state_names)
+        )
+        self._alive_counts[trial] -= newly.size
+        if self._members:
+            gids = newly.astype(np.int64) + trial * self.n
+            for sid, arr in self._members.items():
+                gone = gids[old_states == sid]
+                if gone.size:
+                    self._members[sid] = arr[
+                        ~np.isin(arr, gone, assume_unique=True)
+                    ]
+
+    def _crash_fraction(self, trial: int, fraction: float) -> np.ndarray:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+        alive_ids = np.flatnonzero(self.alive[trial])
+        count = int(round(fraction * alive_ids.size))
+        victims = self._fault_rngs[trial].choice(
+            alive_ids, size=count, replace=False
+        )
+        self._crash(trial, victims)
+        return victims
+
+    def _recover(
+        self, trial: int, hosts: np.ndarray, state: Optional[str] = None
+    ) -> None:
+        sid = self._index[state or self.recovery_state]
+        hosts = np.unique(hosts)
+        was_alive = self.alive[trial, hosts]
+        revived = hosts[~was_alive]
+        already = hosts[was_alive]
+        if already.size:
+            # RoundEngine.recover also resets already-alive hosts.
+            self._set_states_by_id(trial, already, sid)
+        if revived.size == 0:
+            return
+        self.alive[trial, revived] = True
+        self.states[trial, revived] = sid
+        self._counts[trial, sid] += revived.size
+        self._alive_counts[trial] += revived.size
+        if sid in self._members:
+            gids = revived.astype(np.int64) + trial * self.n
+            self._members[sid] = np.concatenate([self._members[sid], gids])
+        if self._alive_counts.sum() == self.alive.size:
+            self._any_dead = False
+
+    def _set_states(self, trial: int, hosts: np.ndarray, state: str) -> None:
+        self._set_states_by_id(trial, hosts, self._index[state])
+
+    def _set_states_by_id(
+        self, trial: int, hosts: np.ndarray, sid: int
+    ) -> None:
+        if hosts.size == 0:
+            return
+        live = hosts[self.alive[trial, hosts]]
+        if live.size:
+            old_states = self.states[trial, live]
+            keep = live[old_states != sid]
+            old_states = old_states[old_states != sid]
+            if keep.size:
+                self._counts[trial] -= np.bincount(
+                    old_states, minlength=len(self.state_names)
+                )
+                self._counts[trial, sid] += keep.size
+                gids = keep.astype(np.int64) + trial * self.n
+                for tracked, arr in list(self._members.items()):
+                    gone = gids[old_states == tracked]
+                    if gone.size:
+                        self._members[tracked] = arr[
+                            ~np.isin(arr, gone, assume_unique=True)
+                        ]
+                if sid in self._members:
+                    self._members[sid] = np.concatenate(
+                        [self._members[sid], gids]
+                    )
+        # Dead hosts carry the new state but stay out of counts and
+        # membership, exactly like RoundEngine.set_states.
+        self.states[trial, hosts] = sid
+
+    # ------------------------------------------------------------------
+    # Membership bookkeeping (batch mode)
+    # ------------------------------------------------------------------
+    def _retune_membership(self) -> None:
+        """Start/stop incremental tracking as populations cross the cap."""
+        totals = self._counts.sum(axis=0)
+        for sid in list(self._members):
+            if totals[sid] > self._member_cap:
+                del self._members[sid]
+        for sid in self._referenced:
+            if sid not in self._members and totals[sid] <= self._member_cap // 2:
+                mask = self._states_flat == sid
+                if self._any_dead:
+                    mask &= self._alive_flat
+                self._members[sid] = np.flatnonzero(mask)
+
+    def _validate_consistency(self) -> None:
+        """Debug invariant check: counts and members match the arrays."""
+        if self.mode == "lockstep":
+            return
+        n_states = len(self.state_names)
+        for m in range(self.trials):
+            expected = np.bincount(
+                self.states[m][self.alive[m]], minlength=n_states
+            )
+            if not np.array_equal(expected, self._counts[m]):
+                raise AssertionError(
+                    f"trial {m}: counts {self._counts[m]} != {expected}"
+                )
+        assert np.array_equal(
+            self._alive_counts, self.alive.sum(axis=1)
+        ), "alive counts out of sync"
+        for sid, arr in self._members.items():
+            mask = self._states_flat == sid
+            mask &= self._alive_flat
+            expected_ids = np.flatnonzero(mask)
+            if not np.array_equal(np.sort(arr), expected_ids):
+                raise AssertionError(f"member list of state {sid} out of sync")
+
+    # ------------------------------------------------------------------
+    # The batched synchronous round
+    # ------------------------------------------------------------------
+    def step(self) -> Dict[Edge, np.ndarray]:
+        """One period for every trial; returns per-edge ``(M,)`` counts."""
+        if self.mode == "lockstep":
+            return self._step_lockstep()
+        m_trials, n = self.trials, self.n
+        snapshot = self._states_flat.copy()
+        alive_flat = self._alive_flat
+        moved = np.zeros(m_trials * n, dtype=bool)
+        counts0 = self._counts.copy()
+        transitions: Dict[Edge, np.ndarray] = {}
+        member_adds: Dict[int, List[np.ndarray]] = {}
+        member_removes: Dict[int, List[np.ndarray]] = {}
+        scan_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+        def trial_members(trial: int, sid: int) -> np.ndarray:
+            """Period-start alive members of one trial, as global ids."""
+            tracked = self._members.get(sid)
+            if tracked is not None:
+                return tracked[(tracked // n) == trial]
+            key = (trial, sid)
+            got = scan_cache.get(key)
+            if got is None:
+                lo = trial * n
+                mask = snapshot[lo:lo + n] == sid
+                if self._any_dead:
+                    mask &= self.alive[trial]
+                got = np.flatnonzero(mask) + lo
+                scan_cache[key] = got
+            return got
+
+        def all_members(sid: int) -> np.ndarray:
+            """Period-start alive members across all trials (global ids)."""
+            tracked = self._members.get(sid)
+            if tracked is not None:
+                return tracked
+            mask = snapshot == sid
+            if self._any_dead:
+                mask &= alive_flat
+            return np.flatnonzero(mask)
+
+        for action in self._compiled:
+            probability = action.probability
+            if probability <= 0.0:
+                continue
+            actor_counts = counts0[:, action.actor]
+            if probability < 1.0:
+                heads = self._rng.binomial(actor_counts, probability)
+                active = np.flatnonzero(heads)
+                if active.size == 0:
+                    continue
+                actors = np.concatenate([
+                    self._rng.choice(
+                        trial_members(int(trial), action.actor),
+                        size=int(heads[trial]), replace=False,
+                    )
+                    for trial in active
+                ])
+            else:
+                if not actor_counts.any():
+                    continue
+                actors = all_members(action.actor)
+                if actors.size == 0:
+                    continue
+            movers, edge_from = self._execute_batch(
+                action, actors, snapshot, alive_flat, moved, trial_members
+            )
+            if movers.size == 0:
+                continue
+            movers = movers[~moved[movers]]
+            if movers.size == 0:
+                continue
+            moved[movers] = True
+            self._states_flat[movers] = action.target
+            per_trial = np.bincount(movers // n, minlength=m_trials)
+            self._counts[:, edge_from] -= per_trial
+            self._counts[:, action.target] += per_trial
+            edge = (
+                self.state_names[edge_from], self.state_names[action.target]
+            )
+            if edge in transitions:
+                transitions[edge] += per_trial
+            else:
+                transitions[edge] = per_trial
+            member_removes.setdefault(edge_from, []).append(movers)
+            member_adds.setdefault(action.target, []).append(movers)
+
+        # Membership deltas are applied only now: during the period all
+        # member lookups must observe the start-of-period snapshot,
+        # matching RoundEngine's semantics.
+        for sid, chunks in member_removes.items():
+            arr = self._members.get(sid)
+            if arr is not None:
+                gone = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                self._members[sid] = arr[
+                    ~np.isin(arr, gone, assume_unique=True)
+                ]
+        for sid, chunks in member_adds.items():
+            if sid in self._members:
+                self._members[sid] = np.concatenate(
+                    [self._members[sid]] + chunks
+                )
+        self._retune_membership()
+        self.period += 1
+        self.last_transitions = transitions
+        return transitions
+
+    def _execute_batch(
+        self,
+        action,
+        actors: np.ndarray,
+        snapshot: np.ndarray,
+        alive_flat: np.ndarray,
+        moved: np.ndarray,
+        trial_members: Callable[[int, int], np.ndarray],
+    ) -> Tuple[np.ndarray, int]:
+        """Run one action's sampling for the whole batch at once."""
+        failure = self.connection_failure_rate
+        if action.kind == "flip":
+            return actors, action.edge_from
+
+        if action.kind in ("sample", "tokenize"):
+            width = len(action.required)
+            if width == 0:
+                fired = actors
+            else:
+                targets = self._sample_other_flat(actors, width)
+                self._count_messages(actors, width)
+                ok = alive_flat[targets] & (
+                    snapshot[targets] == action.required[None, :]
+                )
+                if failure > 0.0:
+                    ok &= self._rng.random(targets.shape) >= failure
+                fired = actors[ok.all(axis=1)]
+            if action.kind == "sample":
+                return fired, action.edge_from
+            return self._deliver_tokens_batch(
+                action, fired, moved, trial_members
+            )
+
+        if action.kind == "anyof":
+            targets = self._sample_other_flat(actors, action.fanout)
+            self._count_messages(actors, action.fanout)
+            ok = alive_flat[targets] & (snapshot[targets] == action.match)
+            if failure > 0.0:
+                ok &= self._rng.random(targets.shape) >= failure
+            return actors[ok.any(axis=1)], action.edge_from
+
+        if action.kind == "push":
+            targets = self._sample_other_flat(actors, action.fanout)
+            self._count_messages(actors, action.fanout)
+            ok = alive_flat[targets] & (snapshot[targets] == action.match)
+            if failure > 0.0:
+                ok &= self._rng.random(targets.shape) >= failure
+            converted = np.unique(targets[ok])
+            return converted, action.edge_from
+
+        raise AssertionError(f"unknown compiled kind {action.kind}")
+
+    def _deliver_tokens_batch(
+        self,
+        action,
+        fired: np.ndarray,
+        moved: np.ndarray,
+        trial_members: Callable[[int, int], np.ndarray],
+    ) -> Tuple[np.ndarray, int]:
+        """Route fired tokens per trial (same semantics as RoundEngine)."""
+        if fired.size == 0:
+            return np.empty(0, dtype=np.int64), action.edge_from
+        token_counts = np.bincount(fired // self.n, minlength=self.trials)
+        chunks: List[np.ndarray] = []
+        for trial in np.flatnonzero(token_counts):
+            pool = trial_members(int(trial), action.token_state)
+            pool = pool[~moved[pool]]
+            if pool.size == 0:
+                continue
+            tokens = int(token_counts[trial])
+            if action.ttl is not None:
+                alive_total = int(self._alive_counts[trial])
+                fraction = pool.size / alive_total if alive_total else 0.0
+                reach = 1.0 - (1.0 - fraction) ** action.ttl
+                tokens = int(self._rng.binomial(tokens, reach))
+                if tokens == 0:
+                    continue
+            take = min(tokens, pool.size)
+            chunks.append(self._rng.choice(pool, size=take, replace=False))
+        if not chunks:
+            return np.empty(0, dtype=np.int64), action.edge_from
+        return np.concatenate(chunks), action.edge_from
+
+    def _sample_other_flat(self, actors: np.ndarray, k: int) -> np.ndarray:
+        """Uniform non-self targets for actors from any trial.
+
+        Flat-global-id variant of :func:`repro.runtime.rng.sample_other`:
+        one draw covers every trial's actors, and targets stay within
+        each actor's own trial row.
+        """
+        hosts = actors % self.n
+        targets = self._rng.integers(0, self.n - 1, size=(actors.size, k))
+        targets += targets >= hosts[:, None]
+        return (actors - hosts)[:, None] + targets
+
+    def _count_messages(self, actors: np.ndarray, k: int) -> None:
+        self.total_messages += k * np.bincount(
+            actors // self.n, minlength=self.trials
+        )
+
+    def _step_lockstep(self) -> Dict[Edge, np.ndarray]:
+        transitions: Dict[Edge, np.ndarray] = {}
+        for m, engine in enumerate(self._engines):
+            for edge, count in engine.step().items():
+                if edge not in transitions:
+                    transitions[edge] = np.zeros(self.trials, dtype=np.int64)
+                transitions[edge][m] = count
+        self.period += 1
+        self.last_transitions = transitions
+        return transitions
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        periods: int,
+        recorder: Optional[BatchMetricsRecorder] = None,
+        hook_factories: Iterable[HookFactory] = (),
+        record_initial: bool = True,
+    ) -> BatchRunResult:
+        """Run ``periods`` rounds of every trial.
+
+        ``hook_factories`` are called once per trial index and must
+        return fresh hook instances (stock hooks are stateful); each
+        trial's hooks fire against its own view before every period,
+        exactly as in :meth:`RoundEngine.run`.
+        """
+        if recorder is None:
+            recorder = BatchMetricsRecorder(self.state_names, self.trials)
+        factories = list(hook_factories)
+        views = self.trial_views() if factories else []
+        trial_hooks = [
+            [factory(m) for factory in factories]
+            for m in range(self.trials if factories else 0)
+        ]
+        if record_initial and self.period == 0:
+            self._record(recorder)
+        for _ in range(periods):
+            for m, view in enumerate(views):
+                for hook in trial_hooks[m]:
+                    hook(view)
+            self.step()
+            self._record(recorder)
+        return BatchRunResult(engine=self, recorder=recorder)
+
+    def _record(self, recorder: BatchMetricsRecorder) -> None:
+        recorder.record(
+            self.period,
+            self.counts_matrix(),
+            self.alive_counts(),
+            transitions=self.last_transitions,
+        )
+
+    # ------------------------------------------------------------------
+    # Lockstep conveniences
+    # ------------------------------------------------------------------
+    def trial_engine(self, trial: int) -> RoundEngine:
+        """The embedded RoundEngine of one lockstep trial."""
+        if self.mode != "lockstep":
+            raise RuntimeError("trial_engine is only available in lockstep mode")
+        return self._engines[trial]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"BatchRoundEngine({self.spec.name!r}, n={self.n}, "
+            f"trials={self.trials}, mode={self.mode!r}, period={self.period})"
+        )
+
+
+def serial_ensemble(
+    spec: ProtocolSpec,
+    n: int,
+    trials: int,
+    initial: Mapping[str, float],
+    periods: int,
+    seed: Optional[int] = None,
+    connection_failure_rate: float = 0.0,
+    stride: int = 1,
+) -> Tuple[List[MetricsRecorder], List[int]]:
+    """Reference implementation: M serial RoundEngine runs.
+
+    Runs the trial loop the way the benches did before the batch engine
+    existed, with the same spawned trial seeds the batch engine uses.
+    Kept as the baseline for ``benchmarks/bench_batch_throughput.py``
+    and the equivalence tests; returns the per-trial recorders and the
+    trial seeds.
+    """
+    seeds = spawn_seeds(seed, trials)
+    recorders = []
+    for trial_seed in seeds:
+        engine = RoundEngine(
+            spec, n=n, initial=initial, seed=trial_seed,
+            connection_failure_rate=connection_failure_rate,
+        )
+        recorder = MetricsRecorder(spec.states, stride=stride)
+        engine.run(periods, recorder=recorder)
+        recorders.append(recorder)
+    return recorders, seeds

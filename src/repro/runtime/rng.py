@@ -10,7 +10,7 @@ perturb the protocol's sampling sequence).
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -18,6 +18,37 @@ import numpy as np
 def make_generator(seed: Optional[int] = None) -> np.random.Generator:
     """A Mersenne Twister backed numpy Generator."""
     return np.random.Generator(np.random.MT19937(seed))
+
+
+def spawn_seeds(seed, m: int) -> List[int]:
+    """Derive ``m`` independent integer trial seeds from a root seed.
+
+    ``seed`` may be an int, ``None``, or a sequence of ints (the
+    ``SeedSequence`` entropy convention) -- passing e.g.
+    ``(root_seed, domain_tag)`` derives a seed family that is
+    independent of the family for the bare root seed, which is how the
+    campaign runner keeps scenario randomness out of protocol streams.
+
+    The multi-trial machinery (``BatchRoundEngine`` in lockstep mode,
+    the campaign runner, batched extinction measurement) runs ensembles
+    of simulations whose per-trial engines each need their own seed.
+    These are produced by hashing the root seed through numpy's
+    ``SeedSequence`` -- the derived 64-bit words are deterministic and
+    platform-stable for a fixed root seed, and the per-trial streams
+    built from them are statistically independent of each other and of
+    the root's own streams (each trial seed is re-hashed through its own
+    ``SeedSequence`` when the trial engine is constructed).
+
+    A root seed of ``None`` draws fresh OS entropy: the trial seeds are
+    still independent, but the ensemble is not reproducible (record the
+    returned seeds if replay matters).
+    """
+    if m < 0:
+        raise ValueError(f"cannot spawn {m} seeds")
+    if m == 0:
+        return []
+    words = np.random.SeedSequence(seed).generate_state(m, np.uint64)
+    return [int(w) for w in words]
 
 
 class RandomSource:
@@ -40,6 +71,19 @@ class RandomSource:
         child = self._sequence.spawn(1)[0]
         self._spawned += 1
         return np.random.Generator(np.random.MT19937(child))
+
+    def spawn(self, m: int) -> List[int]:
+        """``m`` trial seeds for independent child simulations.
+
+        Unlike :meth:`stream` (which hands out generators for the
+        components of *one* simulation), ``spawn`` derives integer seeds
+        for *whole child simulations* -- e.g. the trials of a
+        :class:`~repro.runtime.batch_engine.BatchRoundEngine` ensemble.
+        The result only depends on the root seed, never on how many
+        streams have already been handed out, so engines and ensembles
+        constructed from the same root seed agree on their trial seeds.
+        """
+        return spawn_seeds(self.seed, m)
 
     @property
     def spawned(self) -> int:

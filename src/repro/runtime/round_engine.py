@@ -7,6 +7,21 @@ and each protocol period executes every action of the
 :class:`~repro.synthesis.protocol.ProtocolSpec` vectorized over the
 processes currently in the acting state.
 
+This is the middle tier of the repository's three-engine hierarchy:
+
+* :class:`~repro.runtime.agent_sim.AgentSimulation` -- one DES
+  coroutine per process, asynchronous periods, latency and clock
+  drift.  Use it to validate that a result is not an artifact of
+  synchrony; slowest, most faithful to a real deployment.
+* :class:`RoundEngine` (this module) -- one protocol instance,
+  vectorized over the N processes.  Use it for single-run experiments
+  and whenever hooks need to inspect or mutate one group mid-run.
+* :class:`~repro.runtime.batch_engine.BatchRoundEngine` -- M
+  independent trials in one ``(M, N)`` state array.  Use it whenever a
+  claim is about an *ensemble* (means, spreads, extinction
+  frequencies): it amortizes per-period overhead across trials and its
+  lockstep mode reproduces M seeded :class:`RoundEngine` runs exactly.
+
 Semantics (matching the paper's system model):
 
 * Targets are sampled uniformly from the *maximal membership* (all N
@@ -130,6 +145,39 @@ def _compile(spec: ProtocolSpec) -> List[_Compiled]:
     return compiled
 
 
+def initial_state_vector(
+    state_names: Sequence[str], n: int, initial: Mapping[str, float]
+) -> np.ndarray:
+    """The unshuffled initial state assignment for one protocol group.
+
+    Accepts counts (summing to ``n``) or fractions (summing to 1) and
+    applies largest-remainder rounding; shared by :class:`RoundEngine`
+    and :class:`~repro.runtime.batch_engine.BatchRoundEngine` so both
+    engines resolve an initial distribution to identical state counts.
+    """
+    unknown = set(initial) - set(state_names)
+    if unknown:
+        raise ValueError(f"unknown states in initial distribution: {sorted(unknown)}")
+    values = np.array([float(initial.get(s, 0.0)) for s in state_names])
+    total = values.sum()
+    if abs(total - 1.0) < 1e-6:
+        values = values * n
+    elif abs(total - n) > max(1.0, 1e-6 * n):
+        raise ValueError(
+            f"initial distribution sums to {total}; expected 1.0 "
+            f"(fractions) or {n} (counts)"
+        )
+    counts = np.floor(values).astype(np.int64)
+    remainder = n - counts.sum()
+    if remainder < 0:
+        raise ValueError("initial counts exceed the group size")
+    # Largest-remainder rounding for the leftover processes.
+    fractional = values - np.floor(values)
+    for index in np.argsort(-fractional)[:remainder]:
+        counts[index] += 1
+    return np.repeat(np.arange(len(state_names), dtype=np.int8), counts)
+
+
 @dataclass
 class RunResult:
     """Outcome of a :meth:`RoundEngine.run` call."""
@@ -206,31 +254,7 @@ class RoundEngine:
     def _initial_states(
         self, initial: Mapping[str, float], shuffle: bool
     ) -> np.ndarray:
-        unknown = set(initial) - set(self.state_names)
-        if unknown:
-            raise ValueError(f"unknown states in initial distribution: {sorted(unknown)}")
-        values = np.array(
-            [float(initial.get(s, 0.0)) for s in self.state_names]
-        )
-        total = values.sum()
-        if abs(total - 1.0) < 1e-6:
-            values = values * self.n
-        elif abs(total - self.n) > max(1.0, 1e-6 * self.n):
-            raise ValueError(
-                f"initial distribution sums to {total}; expected 1.0 "
-                f"(fractions) or {self.n} (counts)"
-            )
-        counts = np.floor(values).astype(np.int64)
-        remainder = self.n - counts.sum()
-        if remainder < 0:
-            raise ValueError("initial counts exceed the group size")
-        # Largest-remainder rounding for the leftover processes.
-        fractional = values - np.floor(values)
-        for index in np.argsort(-fractional)[:remainder]:
-            counts[index] += 1
-        states = np.repeat(
-            np.arange(len(self.state_names), dtype=np.int8), counts
-        )
+        states = initial_state_vector(self.state_names, self.n, initial)
         if shuffle:
             self._random_source.stream("initial-shuffle").shuffle(states)
         return states

@@ -1,0 +1,433 @@
+"""Tests for the batched multi-trial engine (repro.runtime.batch_engine).
+
+The two pillars:
+
+* **Exactness** -- lockstep mode must reproduce M serial RoundEngine
+  runs with the same spawned seeds bit for bit (count tensors equal
+  elementwise, hence per-period means equal exactly).
+* **Distributional equivalence** -- batch mode draws differently but
+  must agree with the serial ensemble in distribution, checked against
+  serial means (z-tests, see statutil) and against the mean-field
+  ``integrate`` trajectories at N = 2000.
+"""
+
+import numpy as np
+import pytest
+
+import statutil
+
+from repro.odes import library
+from repro.odes.integrate import integrate
+from repro.protocols.endemic import EndemicParams, figure1_protocol
+from repro.protocols.epidemic import pull_protocol
+from repro.protocols.lv import lv_protocol
+from repro.runtime import (
+    BatchMetricsRecorder,
+    BatchRoundEngine,
+    MetricsRecorder,
+    RoundEngine,
+    serial_ensemble,
+    spawn_seeds,
+)
+from repro.runtime.failures import CrashRecoveryNoise, MassiveFailure
+from repro.synthesis import FlipAction, ProtocolSpec, TokenizeAction, synthesize
+
+
+def serial_tensor(spec, n, trials, initial, periods, seed, **kwargs):
+    """Count tensor of M serial RoundEngine runs with spawned seeds."""
+    recorders, seeds = serial_ensemble(
+        spec, n=n, trials=trials, initial=initial, periods=periods,
+        seed=seed, **kwargs,
+    )
+    tensor = np.stack([
+        np.stack([r.counts(s) for s in spec.states], axis=1)
+        for r in recorders
+    ])
+    return tensor, seeds
+
+
+# ----------------------------------------------------------------------
+# Exact seed-for-seed agreement (lockstep mode)
+# ----------------------------------------------------------------------
+class TestLockstepExactness:
+    CASES = [
+        # (spec factory, n, initial factory, periods) for three protocol
+        # families covering flip, sample, anyof and push actions.
+        (
+            "endemic",
+            lambda: figure1_protocol(EndemicParams(alpha=0.01, gamma=0.1, b=2)),
+            400,
+            lambda n: EndemicParams(alpha=0.01, gamma=0.1, b=2).equilibrium_counts(n),
+            40,
+        ),
+        (
+            "epidemic-pull",
+            pull_protocol,
+            300,
+            lambda n: {"x": n - 10, "y": 10},
+            25,
+        ),
+        (
+            "lv",
+            lambda: lv_protocol(p=0.05),
+            200,
+            lambda n: {"x": int(0.6 * n), "y": n - int(0.6 * n), "z": 0},
+            30,
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "name,spec_factory,n,initial_factory,periods",
+        CASES, ids=[c[0] for c in CASES],
+    )
+    def test_count_tensors_match_serial_exactly(
+        self, name, spec_factory, n, initial_factory, periods
+    ):
+        spec = spec_factory()
+        initial = initial_factory(n)
+        trials, seed = 6, 20240 + hash(name) % 1000
+        batch = BatchRoundEngine(
+            spec, n=n, trials=trials, initial=initial, seed=seed,
+            mode="lockstep",
+        )
+        result = batch.run(periods)
+        reference, seeds = serial_tensor(
+            spec, n, trials, initial, periods, seed
+        )
+        assert batch.trial_seeds == seeds
+        assert np.array_equal(result.recorder.count_tensor(), reference)
+        # Per-period means therefore agree exactly, not just within
+        # tolerance.
+        assert np.array_equal(
+            result.recorder.mean_counts(spec.states[0]),
+            reference[:, :, 0].mean(axis=0),
+        )
+
+    def test_exact_with_connection_failures(self):
+        spec = pull_protocol()
+        initial = {"x": 280, "y": 20}
+        batch = BatchRoundEngine(
+            spec, n=300, trials=4, initial=initial, seed=77,
+            connection_failure_rate=0.3, mode="lockstep",
+        )
+        result = batch.run(20)
+        reference, _ = serial_tensor(
+            spec, 300, 4, initial, 20, 77, connection_failure_rate=0.3
+        )
+        assert np.array_equal(result.recorder.count_tensor(), reference)
+
+    def test_exact_with_hooks(self):
+        spec = pull_protocol()
+        initial = {"x": 480, "y": 20}
+        make_failure = lambda m: MassiveFailure(at_period=8, fraction=0.5)
+        batch = BatchRoundEngine(
+            spec, n=500, trials=4, initial=initial, seed=11, mode="lockstep",
+        )
+        recorder = batch.run(20, hook_factories=[make_failure]).recorder
+        for m, trial_seed in enumerate(spawn_seeds(11, 4)):
+            engine = RoundEngine(spec, n=500, initial=initial, seed=trial_seed)
+            serial = MetricsRecorder(spec.states)
+            engine.run(20, recorder=serial, hooks=[make_failure(m)])
+            expected = np.stack(
+                [serial.counts(s) for s in spec.states], axis=1
+            )
+            assert np.array_equal(recorder.count_tensor()[m], expected)
+
+    def test_transition_tensor_matches_serial(self):
+        spec = figure1_protocol(EndemicParams(alpha=0.01, gamma=0.1, b=2))
+        initial = {"x": 350, "y": 50, "z": 0}
+        batch = BatchRoundEngine(
+            spec, n=400, trials=3, initial=initial, seed=5, mode="lockstep",
+        )
+        recorder = batch.run(30).recorder
+        recorders, _ = serial_ensemble(
+            spec, n=400, trials=3, initial=initial, periods=30, seed=5
+        )
+        for edge in recorder.edges_seen():
+            expected = np.stack([
+                # Serial recorders log transitions from period 1 on; the
+                # batch recorder records a zero row at period 0.
+                np.concatenate([[0], r.transition_series(edge)[1:]])
+                for r in recorders
+            ])
+            assert np.array_equal(recorder.transition_tensor(edge), expected)
+
+
+# ----------------------------------------------------------------------
+# Batch mode: internal consistency
+# ----------------------------------------------------------------------
+class TestBatchModeConsistency:
+    def test_invariants_through_dynamics_and_faults(self):
+        spec = figure1_protocol(EndemicParams(alpha=0.01, gamma=0.1, b=2))
+        n = 600
+        batch = BatchRoundEngine(
+            spec, n=n, trials=5,
+            initial=EndemicParams(alpha=0.01, gamma=0.1, b=2).equilibrium_counts(n),
+            seed=31,
+        )
+        views = batch.trial_views()
+        for period in range(40):
+            if period == 10:
+                for view in views:
+                    view.crash_fraction(0.3)
+            if period == 25:
+                for view in views:
+                    dead = np.flatnonzero(~view.alive)
+                    view.recover(dead[: len(dead) // 2])
+            batch.step()
+            batch._validate_consistency()
+
+    def test_counts_conserved_without_faults(self):
+        spec = synthesize(library.lv(), p=0.02)
+        batch = BatchRoundEngine(
+            spec, n=300, trials=8,
+            initial={"x": 150, "y": 100, "z": 50}, seed=3,
+        )
+        batch.run(50)
+        assert np.all(batch.counts_matrix().sum(axis=1) == 300)
+        assert np.all(batch.alive_counts() == 300)
+
+    def test_trial_views_are_isolated(self):
+        spec = pull_protocol()
+        batch = BatchRoundEngine(
+            spec, n=200, trials=3, initial={"x": 190, "y": 10}, seed=1
+        )
+        views = batch.trial_views()
+        views[1].crash(np.arange(100))
+        assert views[0].alive_count() == 200
+        assert views[1].alive_count() == 100
+        assert views[2].alive_count() == 200
+        batch._validate_consistency()
+
+    def test_set_states_and_members_in(self):
+        spec = pull_protocol()
+        batch = BatchRoundEngine(
+            spec, n=100, trials=2, initial={"x": 100, "y": 0}, seed=2
+        )
+        view = batch.trial_views()[0]
+        view.set_states(np.arange(10), "y")
+        assert view.counts()["y"] == 10
+        assert len(view.members_in("y")) == 10
+        batch._validate_consistency()
+
+    def test_tokenize_semantics(self):
+        # Oracle token delivery: one mover per fired token while the
+        # token-state pool lasts, exactly as in the serial engine.
+        spec = ProtocolSpec(
+            name="token", states=("w", "z", "u"),
+            actions=(
+                TokenizeAction(
+                    actor_state="w", probability=1.0, target_state="u",
+                    required_states=(), token_state="z", ttl=None,
+                ),
+            ),
+        )
+        batch = BatchRoundEngine(
+            spec, n=100, trials=4, initial={"w": 50, "z": 5, "u": 45}, seed=6
+        )
+        transitions = batch.step()
+        assert np.all(transitions[("z", "u")] == 5)
+        batch._validate_consistency()
+
+    def test_rejects_bad_arguments(self):
+        spec = pull_protocol()
+        with pytest.raises(ValueError):
+            BatchRoundEngine(spec, n=1, trials=2, initial={"x": 1})
+        with pytest.raises(ValueError):
+            BatchRoundEngine(spec, n=10, trials=0, initial={"x": 10})
+        with pytest.raises(ValueError):
+            BatchRoundEngine(spec, n=10, trials=2, initial={"x": 10}, mode="warp")
+        with pytest.raises(ValueError):
+            BatchRoundEngine(
+                spec, n=10, trials=2, initial={"x": 10},
+                connection_failure_rate=1.0,
+            )
+
+
+# ----------------------------------------------------------------------
+# Batch mode: distributional equivalence
+# ----------------------------------------------------------------------
+class TestBatchModeDistribution:
+    def test_flip_rates_match_binomial(self):
+        spec = ProtocolSpec(
+            name="flip", states=("a", "b"),
+            actions=(FlipAction("a", 0.2, "b"),),
+        )
+        batch = BatchRoundEngine(
+            spec, n=5000, trials=16, initial={"a": 5000}, seed=8
+        )
+        transitions = batch.step()
+        movers = transitions[("a", "b")]
+        # Every trial's mover count is Binomial(5000, 0.2); one
+        # Bonferroni family over the 16 trials.
+        statutil.assert_binomial_cells(
+            movers, 5000, np.full(16, 0.2), context="batched flip movers"
+        )
+
+    def test_endemic_window_matches_serial_ensemble(self):
+        params = EndemicParams(alpha=0.01, gamma=0.1, b=2)
+        spec = figure1_protocol(params)
+        n, trials, periods = 2000, 16, 150
+        initial = params.equilibrium_counts(n)
+        batch = BatchRoundEngine(
+            spec, n=n, trials=trials, initial=initial, seed=91
+        )
+        recorder = batch.run(periods).recorder
+        reference, _ = serial_tensor(spec, n, trials, initial, periods, 91)
+        # Compare the two ensembles' per-trial stash means over the
+        # stationary window: same distribution => compatible means.
+        window = recorder.times >= 50
+        stash = spec.states.index("y")
+        batch_means = recorder.counts("y")[:, window].mean(axis=1)
+        serial_means = reference[:, window, stash].mean(axis=1)
+        statutil.assert_mean_close(
+            batch_means, float(serial_means.mean()),
+            context="endemic stash window (batch vs serial)",
+        )
+
+    def test_epidemic_tracks_mean_field_at_n2000(self):
+        system = library.epidemic()
+        spec = synthesize(system)
+        n, trials = 2000, 24
+        # 1% infected start: past the stochastic-takeoff knife edge.
+        initial = {"x": n - 20, "y": 20}
+        batch = BatchRoundEngine(
+            spec, n=n, trials=trials, initial=initial, seed=14
+        )
+        recorder = batch.run(60).recorder
+        trajectory = integrate(
+            system, {"x": (n - 20) / n, "y": 20 / n},
+            t_end=spec.time_for_periods(60),
+        )
+        for period in (20, 30, 45, 60):
+            expected = trajectory.at(spec.time_for_periods(period))["y"]
+            mean_fraction = float(
+                recorder.counts("y")[:, period].mean()
+            ) / n
+            # Mean-field error is O(1/sqrt(N)) per trial plus ensemble
+            # noise; 0.04 absolute on a fraction is ~3 combined sigmas.
+            assert mean_fraction == pytest.approx(expected, abs=0.04), period
+
+    def test_lv_tracks_mean_field_at_n2000(self):
+        system = library.lv()
+        spec = synthesize(system, p=0.01)
+        n, trials = 2000, 16
+        initial = {"x": 1200, "y": 800, "z": 0}
+        batch = BatchRoundEngine(
+            spec, n=n, trials=trials, initial=initial, seed=15
+        )
+        recorder = batch.run(250).recorder
+        trajectory = integrate(
+            system, {"x": 0.6, "y": 0.4, "z": 0.0},
+            t_end=spec.time_for_periods(250),
+        )
+        for period in (50, 150, 250):
+            for state in ("x", "y"):
+                expected = trajectory.at(spec.time_for_periods(period))[state]
+                mean_fraction = float(
+                    recorder.counts(state)[:, period].mean()
+                ) / n
+                assert mean_fraction == pytest.approx(expected, abs=0.05), (
+                    period, state,
+                )
+
+    def test_massive_failure_halves_alive_everywhere(self):
+        spec = pull_protocol()
+        batch = BatchRoundEngine(
+            spec, n=1000, trials=6, initial={"x": 990, "y": 10}, seed=4
+        )
+        result = batch.run(
+            20, hook_factories=[
+                lambda m: MassiveFailure(at_period=10, fraction=0.5)
+            ],
+        )
+        alive = result.recorder.alive_tensor()
+        assert np.all(alive[:, 9] == 1000)
+        assert np.all(alive[:, 12] == 500)
+        batch._validate_consistency()
+
+    def test_crash_recovery_noise_runs_batched(self):
+        spec = pull_protocol()
+        batch = BatchRoundEngine(
+            spec, n=500, trials=4, initial={"x": 490, "y": 10}, seed=21
+        )
+        batch.run(
+            30, hook_factories=[
+                lambda m: CrashRecoveryNoise(
+                    crash_rate=0.02, recovery_rate=0.1, seed=100 + m
+                )
+            ],
+        )
+        batch._validate_consistency()
+        assert np.all(batch.alive_counts() < 500)
+
+
+# ----------------------------------------------------------------------
+# BatchMetricsRecorder
+# ----------------------------------------------------------------------
+class TestBatchMetricsRecorder:
+    def make_recorder(self):
+        recorder = BatchMetricsRecorder(("a", "b"), trials=3)
+        recorder.record(
+            0, np.array([[10, 0], [9, 1], [8, 2]]), np.array([10, 10, 10])
+        )
+        recorder.record(
+            1, np.array([[6, 4], [5, 5], [4, 6]]), np.array([10, 10, 10]),
+            transitions={("a", "b"): np.array([4, 4, 4])},
+        )
+        return recorder
+
+    def test_tensor_shapes(self):
+        recorder = self.make_recorder()
+        assert recorder.count_tensor().shape == (3, 2, 2)
+        assert recorder.counts("a").shape == (3, 2)
+        assert recorder.alive_tensor().shape == (3, 2)
+        assert recorder.transition_tensor(("a", "b")).shape == (3, 2)
+
+    def test_reducers(self):
+        recorder = self.make_recorder()
+        assert recorder.mean_counts("a").tolist() == [9.0, 5.0]
+        assert recorder.quantile_counts("a", 0.5).tolist() == [9.0, 5.0]
+        assert recorder.mean_fractions("b").tolist() == pytest.approx([0.1, 0.5])
+        assert recorder.mean_transitions(("a", "b")).tolist() == [0.0, 4.0]
+        assert recorder.mean_alive().tolist() == [10.0, 10.0]
+        assert recorder.std_counts("a")[1] == pytest.approx(
+            np.std([6, 5, 4])
+        )
+        assert recorder.edges_seen() == [("a", "b")]
+        assert recorder.last_counts().tolist() == [[6, 4], [5, 5], [4, 6]]
+
+    def test_stride_skips_periods(self):
+        recorder = BatchMetricsRecorder(("a",), trials=1, stride=2)
+        for period in range(5):
+            recorder.record(period, np.array([[1]]), np.array([1]))
+        assert recorder.times.tolist() == [0, 2, 4]
+
+    def test_shape_mismatch_rejected(self):
+        recorder = BatchMetricsRecorder(("a", "b"), trials=2)
+        with pytest.raises(ValueError):
+            recorder.record(0, np.zeros((3, 2)), np.zeros(3))
+
+    def test_empty_recorder_tensors(self):
+        recorder = BatchMetricsRecorder(("a", "b"), trials=4)
+        assert recorder.count_tensor().shape == (4, 0, 2)
+        assert recorder.counts("a").shape == (4, 0)
+        assert recorder.alive_tensor().shape == (4, 0)
+
+
+class TestBatchRunResult:
+    def test_final_counts_and_means(self):
+        spec = pull_protocol()
+        batch = BatchRoundEngine(
+            spec, n=400, trials=5, initial={"x": 396, "y": 4}, seed=10
+        )
+        result = batch.run(40)
+        finals = result.final_counts()
+        assert set(finals) == {"x", "y"}
+        assert all(v.shape == (5,) for v in finals.values())
+        total = finals["x"] + finals["y"]
+        assert np.all(total == 400)
+        means = result.mean_final_counts()
+        assert means["y"] == pytest.approx(float(finals["y"].mean()))
+        # The epidemic takes over in every trial.
+        assert np.all(finals["y"] == 400)

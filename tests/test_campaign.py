@@ -1,0 +1,231 @@
+"""Tests for the campaign runner (repro.campaign)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignPoint,
+    CampaignResult,
+    CampaignSpec,
+    available_protocols,
+    available_scenarios,
+    build_protocol,
+    register_protocol,
+    register_scenario,
+    replay_point,
+    run_campaign,
+    run_point,
+    verify_replay,
+)
+from repro.__main__ import main as cli_main
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="tiny",
+        protocols=["epidemic-pull"],
+        group_sizes=[300],
+        loss_rates=[0.0],
+        scenarios=["none"],
+        trials=4,
+        periods=30,
+        base_seed=7,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestGridExpansion:
+    def test_full_product(self):
+        spec = tiny_spec(
+            protocols=["epidemic-pull", "lv"],
+            group_sizes=[300, 600],
+            loss_rates=[0.0, 0.1],
+            scenarios=["none", "massive-failure"],
+        )
+        points = spec.expand()
+        assert len(points) == 16
+        combos = {
+            (p.protocol, p.n, p.loss_rate, p.scenario) for p in points
+        }
+        assert len(combos) == 16
+        assert all(p.trials == 4 and p.periods == 30 for p in points)
+
+    def test_seeds_deterministic_and_distinct(self):
+        spec = tiny_spec(group_sizes=[300, 600, 900])
+        seeds = [p.seed for p in spec.expand()]
+        assert seeds == [p.seed for p in spec.expand()]
+        assert len(set(seeds)) == 3
+        # Changing the base seed changes every point seed.
+        reseeded = tiny_spec(group_sizes=[300, 600, 900], base_seed=8)
+        assert set(seeds).isdisjoint(p.seed for p in reseeded.expand())
+
+    def test_validation_rejects_unknowns(self):
+        with pytest.raises(ValueError, match="unknown protocols"):
+            tiny_spec(protocols=["nope"]).expand()
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            tiny_spec(scenarios=["nope"]).expand()
+        with pytest.raises(ValueError, match="axis"):
+            tiny_spec(group_sizes=[]).expand()
+        with pytest.raises(ValueError, match="loss rate"):
+            tiny_spec(loss_rates=[1.5]).expand()
+
+    def test_registries_list_builtins(self):
+        assert "endemic" in available_protocols()
+        assert "lv" in available_protocols()
+        assert "massive-failure" in available_scenarios()
+        assert "churn" in available_scenarios()
+
+    def test_build_protocol_resolves(self):
+        spec, initial = build_protocol("lv", 500)
+        assert spec.states == ("x", "y", "z")
+        assert sum(initial.values()) == 500
+        with pytest.raises(KeyError):
+            build_protocol("nope", 10)
+
+
+class TestJsonRoundTrip:
+    def test_spec_round_trip(self):
+        spec = tiny_spec(scenarios=["none", "crash-recovery"])
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
+    def test_result_round_trip(self):
+        result = run_campaign(tiny_spec())
+        text = result.to_json()
+        json.loads(text)  # valid JSON
+        restored = CampaignResult.from_json(text)
+        assert restored.spec == result.spec
+        assert restored.results == result.results
+
+    def test_point_round_trip(self):
+        point = tiny_spec().expand()[0]
+        assert CampaignPoint.from_dict(point.to_dict()) == point
+
+
+class TestRunPoint:
+    def test_summary_consistent_with_finals(self):
+        point = tiny_spec().expand()[0]
+        result = run_point(point)
+        assert result.states == ["x", "y"]
+        assert len(result.trial_seeds) == point.trials
+        for state in result.states:
+            finals = np.asarray(result.final_counts[state])
+            assert finals.shape == (point.trials,)
+            assert result.summary[state]["mean"] == pytest.approx(
+                float(finals.mean())
+            )
+            assert result.summary[state]["q50"] == pytest.approx(
+                float(np.median(finals))
+            )
+        # Trajectory covers initial period plus every recorded period.
+        assert result.recorded_periods[0] == 0
+        assert result.recorded_periods[-1] == point.periods
+        assert len(result.mean_trajectory["x"]) == len(result.recorded_periods)
+
+    def test_scenario_reduces_alive(self):
+        point = tiny_spec(scenarios=["massive-failure"]).expand()[0]
+        result = run_point(point)
+        assert result.mean_alive[0] == point.n
+        assert result.mean_alive[-1] == pytest.approx(point.n / 2)
+
+
+class TestReplay:
+    def test_replay_reproduces_count_tensor(self):
+        point = tiny_spec(scenarios=["crash-recovery"]).expand()[0]
+        first = replay_point(point)
+        second = replay_point(point)
+        assert first.shape == (point.trials, point.periods + 1, 2)
+        assert np.array_equal(first, second)
+
+    def test_verify_replay_accepts_genuine_result(self):
+        result = run_point(tiny_spec(scenarios=["churn"]).expand()[0])
+        assert verify_replay(result)
+
+    def test_verify_replay_detects_tampering(self):
+        result = run_point(tiny_spec().expand()[0])
+        result.final_counts["y"][0] += 1
+        assert not verify_replay(result)
+
+    def test_lockstep_mode_replays_too(self):
+        point = tiny_spec(mode="lockstep", trials=2, periods=10).expand()[0]
+        assert np.array_equal(replay_point(point), replay_point(point))
+
+
+class TestFanOut:
+    def test_workers_match_serial_results(self):
+        spec = tiny_spec(group_sizes=[200, 300], scenarios=["none", "massive-failure"])
+        serial = run_campaign(spec, workers=1)
+        parallel = run_campaign(spec, workers=2)
+        assert [r.point for r in serial.results] == [
+            r.point for r in parallel.results
+        ]
+        for a, b in zip(serial.results, parallel.results):
+            assert a.final_counts == b.final_counts
+            assert a.mean_trajectory == b.mean_trajectory
+
+    def test_progress_callback_fires_per_point(self):
+        spec = tiny_spec(group_sizes=[200, 300])
+        seen = []
+        run_campaign(spec, progress=lambda r: seen.append(r.point.n))
+        assert sorted(seen) == [200, 300]
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(tiny_spec(), workers=0)
+
+
+class TestRegistryExtension:
+    def test_custom_protocol_and_scenario(self):
+        from repro.protocols.epidemic import pull_protocol
+
+        register_protocol(
+            "custom-pull", lambda n: (pull_protocol(), {"x": n - 1, "y": 1})
+        )
+        register_scenario("quiet", lambda point, trial, seed: [])
+        try:
+            spec = tiny_spec(protocols=["custom-pull"], scenarios=["quiet"])
+            result = run_campaign(spec)
+            assert result.results[0].point.protocol == "custom-pull"
+        finally:
+            from repro.campaign import registry
+
+            registry._PROTOCOLS.pop("custom-pull")
+            registry._SCENARIOS.pop("quiet")
+
+
+class TestCampaignCli:
+    def test_dry_run(self, capsys):
+        assert cli_main([
+            "campaign", "--dry-run", "--protocol", "lv", "--n", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dry run: nothing executed" in out
+        assert "lv" in out
+
+    def test_run_write_and_replay(self, tmp_path, capsys):
+        out_file = tmp_path / "results.json"
+        assert cli_main([
+            "campaign", "--protocol", "epidemic-pull", "--n", "200",
+            "--trials", "3", "--periods", "15", "--seed", "5",
+            "--out", str(out_file),
+        ]) == 0
+        stored = CampaignResult.from_json(out_file.read_text())
+        assert len(stored.results) == 1
+        assert cli_main(["campaign", "--replay", str(out_file)]) == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_config_file(self, tmp_path, capsys):
+        config = tmp_path / "spec.json"
+        config.write_text(tiny_spec(periods=10).to_json())
+        assert cli_main([
+            "campaign", "--config", str(config), "--dry-run",
+        ]) == 0
+        assert "1 points" in capsys.readouterr().out
+
+    def test_invalid_grid_fails_cleanly(self, capsys):
+        assert cli_main([
+            "campaign", "--protocol", "nope", "--dry-run",
+        ]) == 1
+        assert "invalid campaign" in capsys.readouterr().err

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+import statutil
+
 from repro.runtime.membership import FullMembership, PartialMembership
 from repro.runtime.overlay import (
     erdos_renyi_overlay,
@@ -26,7 +28,11 @@ class TestFullMembership:
         for _ in range(4000):
             counts[membership.sample(0, 1)[0]] += 1
         assert counts[0] == 0
-        assert counts[1:] == pytest.approx(np.full(4, 1000), rel=0.15)
+        # Each non-caller cell is Binomial(4000, 1/4); one Bonferroni
+        # family over the four cells (see statutil's tolerance policy).
+        statutil.assert_binomial_cells(
+            counts[1:], 4000, np.full(4, 0.25), context="uniform targets"
+        )
 
     def test_view_size(self):
         assert FullMembership(100, make_generator(0)).view_size(0) == 99
@@ -50,7 +56,9 @@ class TestSampleOther:
         targets = sample_other(rng, 4, actors, k=1).ravel()
         counts = np.bincount(targets, minlength=4)
         assert counts[0] == 0
-        assert counts[1:] == pytest.approx(np.full(3, 20000 / 3), rel=0.1)
+        statutil.assert_binomial_cells(
+            counts[1:], 20000, np.full(3, 1 / 3), context="shifted targets"
+        )
 
     def test_empty_actors(self):
         rng = make_generator(0)

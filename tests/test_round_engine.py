@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+import statutil
+
 from repro.odes import library
 from repro.protocols.endemic import EndemicParams, figure1_protocol
 from repro.synthesis import (
@@ -70,7 +72,8 @@ class TestFlipDynamics:
         engine = RoundEngine(flip_spec(0.3), n=10000, initial={"a": 10000}, seed=2)
         transitions = engine.step()
         moved = transitions[("a", "b")]
-        assert moved == pytest.approx(3000, abs=200)
+        # Null: each of the 10,000 processes flips a 0.3 coin.
+        statutil.assert_binomial_count(moved, 10000, 0.3, context="flip movers")
 
     def test_probability_zero_never_fires(self):
         engine = RoundEngine(flip_spec(0.0) if False else ProtocolSpec(
