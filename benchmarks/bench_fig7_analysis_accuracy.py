@@ -36,39 +36,60 @@ def run_cells():
 def test_fig7_analysis_accuracy(run_once):
     measurements = run_once(run_cells)
 
+    # Evaluate the paper-shape checks *before* writing the artifact so a
+    # failing run is recorded as FAIL instead of masquerading as a
+    # reproduction.  Shape: every cell's median within 10% of the
+    # analysis, the analytic value inside the observed [min, max] band,
+    # and accuracy not degrading with N (mean-field gets better).
+    failures = []
+    for size, cells in measurements.items():
+        for state in ("x", "y"):
+            cell = cells[state]
+            if cell.relative_error >= 0.10:
+                failures.append(
+                    f"N={size} {state}: median error "
+                    f"{100 * cell.relative_error:.1f}% >= 10%"
+                )
+            if not cell.stats.minimum <= cell.analytic <= cell.stats.maximum:
+                failures.append(
+                    f"N={size} {state}: analysis {cell.analytic:.1f} outside "
+                    f"[{cell.stats.minimum:.0f}, {cell.stats.maximum:.0f}]"
+                )
+    errors = [
+        (cells["y"].relative_error + cells["x"].relative_error) / 2
+        for cells in measurements.values()
+    ]
+    if errors[-1] > errors[0] + 0.05:
+        failures.append(
+            f"accuracy degrades with N: {errors[0]:.3f} -> {errors[-1]:.3f}"
+        )
+
     rows = []
     for size, cells in measurements.items():
+        n_actual = cells["x"].n
         for state, label in (("x", "#Rcptvs"), ("y", "#Stshrs")):
             cell = cells[state]
             rows.append((
-                size, label, f"{cell.analytic:.1f}", f"{cell.stats.median:.0f}",
+                size, n_actual, label, f"{cell.analytic:.1f}",
+                f"{cell.stats.median:.0f}",
                 f"{cell.stats.minimum:.0f}", f"{cell.stats.maximum:.0f}",
                 f"{100 * cell.relative_error:.2f}%",
             ))
     table = format_table(
-        ["N", "series", "analysis", "measured median", "min", "max",
-         "median error"],
+        ["N (paper)", "n (run)", "series", "analysis", "measured median",
+         "min", "max", "median error"],
         rows,
     )
+    status = "PASS" if not failures else "FAIL: " + "; ".join(failures)
     report("fig7_analysis_accuracy", "\n".join([
         "parameters: b=2, gamma=0.1, alpha=0.001 "
         "(2000-period observation window)",
         "paper shape: measured medians tally closely with the analysis "
         "at every N",
+        "analysis column uses the actual group size n of this run",
+        f"status: {status}",
         "",
         table,
     ]))
 
-    # Shape: every cell's median within 10% of the analysis, and the
-    # analytic value inside the observed [min, max] band.
-    for cells in measurements.values():
-        for state in ("x", "y"):
-            cell = cells[state]
-            assert cell.relative_error < 0.10
-            assert cell.stats.minimum <= cell.analytic <= cell.stats.maximum
-    # Accuracy does not degrade with N (mean-field gets better).
-    errors = [
-        (cells["y"].relative_error + cells["x"].relative_error) / 2
-        for cells in measurements.values()
-    ]
-    assert errors[-1] <= errors[0] + 0.05
+    assert not failures, failures

@@ -2,11 +2,22 @@
 
 from __future__ import annotations
 
+import datetime
 import os
+import platform
 from pathlib import Path
-from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.viz import format_table
+
+__all__ = ["bench_scale", "scaled", "format_table", "provenance", "report"]
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Artifact names written by report() in this process; conftest's
+#: fail-marker hook only stamps artifacts this run actually produced.
+WRITTEN_THIS_RUN = set()
 
 
 def bench_scale() -> float:
@@ -26,25 +37,43 @@ def scaled(quantity: float, minimum: int = 1) -> int:
     return max(minimum, int(round(quantity * bench_scale())))
 
 
-def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
-    """Plain-text aligned table."""
-    rows = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
+def provenance() -> str:
+    """One-line run-provenance record embedded in every artifact.
 
-    def fmt(cells):
-        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    Reduced-scale runs must be self-identifying: the scale factor is the
+    first field, so an artifact produced at REPRO_BENCH_SCALE < 1 can
+    never pass for a paper-scale reproduction (see results/README.md).
 
-    lines = [fmt(headers), fmt(["-" * w for w in widths])]
-    lines.extend(fmt(row) for row in rows)
-    return "\n".join(lines)
+    Set ``SOURCE_DATE_EPOCH`` to pin the ``generated=`` date, so a
+    rerun that reproduces identical results yields byte-identical
+    artifacts (no date-only churn when diffing against the committed
+    copies).
+    """
+    epoch = os.environ.get("SOURCE_DATE_EPOCH")
+    if epoch is not None:
+        today = datetime.datetime.fromtimestamp(
+            int(epoch), tz=datetime.timezone.utc
+        ).date().isoformat()
+    else:
+        today = datetime.date.today().isoformat()
+    return (
+        f"provenance: REPRO_BENCH_SCALE={bench_scale():g}"
+        f"  python={platform.python_version()}"
+        f"  numpy={np.__version__}"
+        f"  generated={today}"
+    )
 
 
 def report(name: str, text: str) -> None:
-    """Print a bench report and persist it under benchmarks/results/."""
-    banner = f"\n=== {name} ===\n"
-    print(banner + text)
+    """Print a bench report and persist it under benchmarks/results/.
+
+    Every artifact gets a provenance footer (scale factor, toolchain,
+    date). This overwrites ``results/<name>.txt`` unconditionally; the
+    committed copies are canonical paper-scale (scale 1.0) passing runs
+    -- do not commit output from reduced-scale or failing runs.
+    """
+    body = f"{text}\n\n{provenance()}\n"
+    print(f"\n=== {name} ===\n{body}")
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(body)
+    WRITTEN_THIS_RUN.add(name)

@@ -41,7 +41,7 @@ from .campaign import (
 from .odes import auto_rewrite, classify, find_equilibria, integrate, parse_system
 from .runtime import MetricsRecorder, RoundEngine
 from .synthesis import SynthesisError, synthesize
-from .viz import render_series
+from .viz import format_table, render_series
 
 
 def _parse_bindings(pairs: List[str], kind: str) -> Dict[str, float]:
@@ -169,8 +169,26 @@ def cmd_analyze(args) -> int:
 
 def _campaign_spec_from_args(args) -> CampaignSpec:
     if args.config:
+        # Grid axes come from the config file alone; rejecting axis
+        # flags beats silently running with parameters the user thinks
+        # they overrode.
+        ignored = [
+            flag for flag, values in (
+                ("--protocol", args.protocol),
+                ("--n", args.n),
+                ("--loss-rate", args.loss_rate),
+                ("--scenario", args.scenario),
+            ) if values
+        ]
+        if ignored:
+            raise ValueError(
+                f"{', '.join(ignored)} cannot be combined with --config; "
+                f"edit the grid axes in the config file instead"
+            )
         spec = CampaignSpec.from_json(Path(args.config).read_text())
         # Explicit flags override the config file's scalar settings.
+        if args.name is not None:
+            spec.name = args.name
         if args.trials is not None:
             spec.trials = args.trials
         if args.periods is not None:
@@ -183,7 +201,7 @@ def _campaign_spec_from_args(args) -> CampaignSpec:
             spec.mode = args.mode
         return spec
     return CampaignSpec(
-        name=args.name,
+        name=args.name if args.name is not None else "campaign",
         protocols=args.protocol or ["epidemic-pull"],
         group_sizes=args.n or [1000],
         loss_rates=args.loss_rate or [0.0],
@@ -193,18 +211,6 @@ def _campaign_spec_from_args(args) -> CampaignSpec:
         base_seed=args.seed if args.seed is not None else 0,
         stride=args.stride if args.stride is not None else 1,
         mode=args.mode if args.mode is not None else "batch",
-    )
-
-
-def _campaign_table(rows, headers) -> str:
-    rows = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    fmt = lambda cells: "  ".join(c.ljust(w) for c, w in zip(cells, widths))
-    return "\n".join(
-        [fmt(headers), fmt(["-" * w for w in widths])] + [fmt(r) for r in rows]
     )
 
 
@@ -218,6 +224,35 @@ def cmd_campaign(args) -> int:
             print(f"{label}: no such file: {path}", file=sys.stderr)
             return 1
     if args.replay:
+        # A replay re-runs the stored points exactly as recorded;
+        # rejecting other flags beats silently replaying with
+        # parameters the user thinks they overrode.
+        conflicting = [
+            flag for flag, present in (
+                ("--config", bool(args.config)),
+                ("--protocol", bool(args.protocol)),
+                ("--n", bool(args.n)),
+                ("--loss-rate", bool(args.loss_rate)),
+                ("--scenario", bool(args.scenario)),
+                ("--name", args.name is not None),
+                ("--trials", args.trials is not None),
+                ("--periods", args.periods is not None),
+                ("--seed", args.seed is not None),
+                ("--stride", args.stride is not None),
+                ("--mode", args.mode is not None),
+                ("--workers", args.workers != 1),
+                ("--out", bool(args.out)),
+                ("--dry-run", args.dry_run),
+            ) if present
+        ]
+        if conflicting:
+            print(
+                f"invalid campaign: {', '.join(conflicting)} cannot be "
+                f"combined with --replay; a replay re-runs the stored "
+                f"points exactly as recorded",
+                file=sys.stderr,
+            )
+            return 1
         try:
             stored = CampaignResult.from_json(Path(args.replay).read_text())
         except (ValueError, KeyError, TypeError) as exc:
@@ -225,7 +260,14 @@ def cmd_campaign(args) -> int:
             return 1
         failures = 0
         for result in stored.results:
-            ok = verify_replay(result)
+            try:
+                ok = verify_replay(result)
+            except (ValueError, KeyError) as exc:
+                # e.g. a protocol/scenario registered at record time
+                # but unknown in this process.
+                print(f"cannot replay {result.point.label}: {exc}",
+                      file=sys.stderr)
+                return 1
             status = "reproduced" if ok else "MISMATCH"
             print(f"{result.point.label}: {status}")
             failures += int(not ok)
@@ -246,10 +288,10 @@ def cmd_campaign(args) -> int:
           f"(engine mode: {spec.mode})")
     if args.dry_run:
         print()
-        print(_campaign_table(
+        print(format_table(
+            ["protocol", "n", "loss", "scenario", "seed"],
             [(p.protocol, p.n, f"{p.loss_rate:g}", p.scenario, p.seed)
              for p in points],
-            ["protocol", "n", "loss", "scenario", "seed"],
         ))
         print()
         print(f"protocols available: {', '.join(available_protocols())}")
@@ -332,7 +374,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a declarative experiment grid on the batch engine",
     )
     p_camp.add_argument("--config", help="JSON campaign spec file")
-    p_camp.add_argument("--name", default="campaign", help="campaign name")
+    p_camp.add_argument("--name", default=None,
+                        help="campaign name (default 'campaign')")
     p_camp.add_argument("--protocol", action="append", default=[],
                         help="protocol name (repeatable; see --dry-run)")
     p_camp.add_argument("--n", action="append", type=int, default=[],

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..protocols.endemic import EndemicParams
-from ..runtime import BatchMetricsRecorder, BatchRoundEngine
+from ..runtime import BatchRoundEngine
 from ..protocols.endemic import STASH, figure1_protocol
 
 #: Seconds per (Julian) year, as used for the longevity conversions.
@@ -117,19 +117,23 @@ def measure_extinction(
     The trials run as one batched ensemble (``seed`` is the root seed
     of the spawned per-trial streams).  Extinction is absorbing for the
     endemic protocol -- with no stasher left, no contact can recreate
-    one -- so "the stash count hit zero at any period" is equivalent to
-    the serial early-exit check.
+    one -- so a latched per-period zero check (with an early exit once
+    every trial is extinct) is equivalent to recording the full count
+    history, at O(trials) memory instead of
+    O(trials x horizon x states).
     """
     spec = figure1_protocol(params)
     engine = BatchRoundEngine(
         spec, n=n, trials=trials,
         initial=params.equilibrium_counts(n), seed=seed,
     )
-    recorder = BatchMetricsRecorder(
-        spec.states, trials, track_transitions=False
-    )
-    engine.run(horizon_periods, recorder=recorder, record_initial=False)
-    extinct = (recorder.counts(STASH) == 0).any(axis=1)
+    stash = spec.states.index(STASH)
+    extinct = engine.counts_matrix()[:, stash] == 0
+    for _ in range(horizon_periods):
+        if extinct.all():
+            break
+        engine.step()
+        extinct |= engine.counts_matrix()[:, stash] == 0
     return ExtinctionTrial(
         params=params,
         n=n,

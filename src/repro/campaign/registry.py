@@ -132,6 +132,38 @@ _SCENARIOS: Dict[str, ScenarioBuilder] = {
     "churn": _scenario_churn,
 }
 
+#: Import-time snapshots.  Worker processes under the ``spawn`` start
+#: method re-import this module and get exactly these; any deviation --
+#: a new name or a built-in name re-registered to a different builder
+#: -- must be shipped over explicitly (see :func:`custom_entries`).
+_BUILTIN_PROTOCOLS = dict(_PROTOCOLS)
+_BUILTIN_SCENARIOS = dict(_SCENARIOS)
+
+
+def custom_entries() -> Tuple[
+    Dict[str, ProtocolBuilder], Dict[str, ScenarioBuilder]
+]:
+    """Runtime registrations that differ from the import-time registry.
+
+    Compared by identity, not name, so replacing a built-in builder
+    counts as custom and reaches pool workers too.
+    """
+    return (
+        {k: v for k, v in _PROTOCOLS.items()
+         if _BUILTIN_PROTOCOLS.get(k) is not v},
+        {k: v for k, v in _SCENARIOS.items()
+         if _BUILTIN_SCENARIOS.get(k) is not v},
+    )
+
+
+def install_entries(
+    protocols: Dict[str, ProtocolBuilder],
+    scenarios: Dict[str, ScenarioBuilder],
+) -> None:
+    """Re-register custom builders (worker-process initializer)."""
+    _PROTOCOLS.update(protocols)
+    _SCENARIOS.update(scenarios)
+
 
 def register_scenario(name: str, builder: ScenarioBuilder) -> None:
     """Register (or replace) a named failure scenario."""

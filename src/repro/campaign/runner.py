@@ -12,15 +12,22 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import pickle
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
 from .grid import CampaignPoint, CampaignSpec
-from .registry import build_protocol, scenario_hook_factory
+from .registry import (
+    build_protocol,
+    custom_entries,
+    install_entries,
+    scenario_hook_factory,
+)
 
 #: Quantiles reported in point summaries.
 SUMMARY_QUANTILES = (0.25, 0.5, 0.75)
@@ -129,9 +136,15 @@ def _composite_hook_factory(point: CampaignPoint) -> Callable[[int], Callable]:
     return factory
 
 
-def run_point(point: CampaignPoint) -> PointResult:
-    """Execute one campaign point as a batched ensemble."""
-    started = time.perf_counter()
+def _run_ensemble(
+    point: CampaignPoint,
+) -> Tuple[BatchRoundEngine, BatchMetricsRecorder]:
+    """Build and run one point's ensemble.
+
+    The single execution path shared by :func:`run_point` and
+    :func:`replay_point`: the replay guarantee holds only while both go
+    through the exact same engine/recorder/hook construction.
+    """
     engine = _make_engine(point)
     recorder = BatchMetricsRecorder(
         engine.state_names, point.trials,
@@ -141,6 +154,13 @@ def run_point(point: CampaignPoint) -> PointResult:
         point.periods, recorder=recorder,
         hook_factories=[_composite_hook_factory(point)],
     )
+    return engine, recorder
+
+
+def run_point(point: CampaignPoint) -> PointResult:
+    """Execute one campaign point as a batched ensemble."""
+    started = time.perf_counter()
+    engine, recorder = _run_ensemble(point)
     elapsed = time.perf_counter() - started
 
     final = engine.counts_matrix()
@@ -192,7 +212,39 @@ def run_campaign(
     points = spec.expand()
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    if workers == 1 or len(points) <= 1:
+    fan_out = workers > 1 and len(points) > 1
+    if fan_out:
+        # Worker processes under the spawn start method (macOS/Windows
+        # default) re-import the registry and see only the built-ins,
+        # so runtime-registered builders must ride along and be
+        # re-installed by the pool initializer.  Only builders this
+        # campaign actually references are shipped; ones that cannot
+        # cross a process boundary (closures, lambdas) force a serial
+        # run -- with a warning -- rather than a KeyError inside the
+        # workers.
+        extra_protocols, extra_scenarios = custom_entries()
+        used_protocols = {p.protocol for p in points}
+        used_scenarios = {p.scenario for p in points}
+        extra = (
+            {k: v for k, v in extra_protocols.items()
+             if k in used_protocols},
+            {k: v for k, v in extra_scenarios.items()
+             if k in used_scenarios},
+        )
+        try:
+            pickle.dumps(extra)
+        except Exception:
+            warnings.warn(
+                "campaign references runtime-registered builders that "
+                "cannot be pickled to worker processes; running the "
+                f"{len(points)}-point grid serially instead of on "
+                f"{workers} workers",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            fan_out = False
+
+    if not fan_out:
         results = []
         for point in points:
             result = run_point(point)
@@ -201,7 +253,10 @@ def run_campaign(
             results.append(result)
         return CampaignResult(spec=spec, results=results)
 
-    with multiprocessing.Pool(processes=min(workers, len(points))) as pool:
+    with multiprocessing.Pool(
+        processes=min(workers, len(points)),
+        initializer=install_entries, initargs=extra,
+    ) as pool:
         indexed: Dict[int, PointResult] = {}
         jobs = pool.imap_unordered(
             _run_indexed, list(enumerate(points))
@@ -228,15 +283,7 @@ def replay_point(point: CampaignPoint) -> np.ndarray:
     Campaign seeds are recorded in specs and results, so the same point
     always reproduces the same tensor (same numpy version and mode).
     """
-    engine = _make_engine(point)
-    recorder = BatchMetricsRecorder(
-        engine.state_names, point.trials,
-        track_transitions=False, stride=point.stride,
-    )
-    engine.run(
-        point.periods, recorder=recorder,
-        hook_factories=[_composite_hook_factory(point)],
-    )
+    _, recorder = _run_ensemble(point)
     return recorder.count_tensor()
 
 

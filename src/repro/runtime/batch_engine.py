@@ -389,7 +389,7 @@ class BatchRoundEngine:
         base_counts = np.bincount(base, minlength=n_states).astype(np.int64)
         self._counts = np.tile(base_counts, (trials, 1))
         self._alive_counts = np.full(trials, n, dtype=np.int64)
-        self.total_messages = np.zeros(trials, dtype=np.int64)
+        self._total_messages = np.zeros(trials, dtype=np.int64)
 
         # Incremental membership: states whose member lists are worth
         # maintaining across periods (population small relative to the
@@ -426,6 +426,15 @@ class BatchRoundEngine:
         if self.mode == "lockstep":
             return np.stack([e.alive for e in self._engines])
         return self._alive_arr
+
+    @property
+    def total_messages(self) -> np.ndarray:
+        """Per-trial messages sent so far, shape ``(M,)`` (both modes)."""
+        if self.mode == "lockstep":
+            return np.array(
+                [e.total_messages for e in self._engines], dtype=np.int64
+            )
+        return self._total_messages
 
     def state_id(self, name: str) -> int:
         return self._index[name]
@@ -535,6 +544,9 @@ class BatchRoundEngine:
     ) -> None:
         if hosts.size == 0:
             return
+        # Duplicate ids would double-count in the bincount updates
+        # below; RoundEngine.set_states tolerates them, so must we.
+        hosts = np.unique(hosts)
         live = hosts[self.alive[trial, hosts]]
         if live.size:
             old_states = self.states[trial, live]
@@ -616,11 +628,29 @@ class BatchRoundEngine:
         member_removes: Dict[int, List[np.ndarray]] = {}
         scan_cache: Dict[Tuple[int, int], np.ndarray] = {}
 
+        member_splits: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
         def trial_members(trial: int, sid: int) -> np.ndarray:
             """Period-start alive members of one trial, as global ids."""
             tracked = self._members.get(sid)
             if tracked is not None:
-                return tracked[(tracked // n) == trial]
+                # One stable grouping pass per tracked state per period
+                # instead of re-filtering the whole array for every
+                # trial; the stable sort keeps within-trial order, so
+                # draw sequences are unchanged.
+                split = member_splits.get(sid)
+                if split is None:
+                    keys = tracked // n
+                    order = np.argsort(keys, kind="stable")
+                    split = (
+                        tracked[order],
+                        np.searchsorted(
+                            keys[order], np.arange(m_trials + 1)
+                        ),
+                    )
+                    member_splits[sid] = split
+                grouped, bounds = split
+                return grouped[bounds[trial]:bounds[trial + 1]]
             key = (trial, sid)
             got = scan_cache.get(key)
             if got is None:
@@ -804,7 +834,7 @@ class BatchRoundEngine:
         return (actors - hosts)[:, None] + targets
 
     def _count_messages(self, actors: np.ndarray, k: int) -> None:
-        self.total_messages += k * np.bincount(
+        self._total_messages += k * np.bincount(
             actors // self.n, minlength=self.trials
         )
 

@@ -1,5 +1,8 @@
-"""Terminal visualization helpers (ASCII plots for examples/benches)."""
+"""Terminal visualization helpers (ASCII plots and tables)."""
 
 from .ascii_plot import histogram, render, render_scatter, render_series
+from .tables import format_table
 
-__all__ = ["render", "render_series", "render_scatter", "histogram"]
+__all__ = [
+    "render", "render_series", "render_scatter", "histogram", "format_table",
+]

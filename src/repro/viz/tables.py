@@ -1,0 +1,21 @@
+"""Plain-text aligned tables (shared by the CLI and the bench harness)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Plain-text aligned table with a dashed header separator."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

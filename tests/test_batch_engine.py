@@ -11,6 +11,8 @@ The two pillars:
   ``integrate`` trajectories at N = 2000.
 """
 
+import zlib
+
 import numpy as np
 import pytest
 
@@ -85,7 +87,9 @@ class TestLockstepExactness:
     ):
         spec = spec_factory()
         initial = initial_factory(n)
-        trials, seed = 6, 20240 + hash(name) % 1000
+        # crc32, not hash(): str hashes are randomized per process, and
+        # a seed-dependent failure must be reproducible on rerun.
+        trials, seed = 6, 20240 + zlib.crc32(name.encode()) % 1000
         batch = BatchRoundEngine(
             spec, n=n, trials=trials, initial=initial, seed=seed,
             mode="lockstep",
@@ -132,6 +136,30 @@ class TestLockstepExactness:
                 [serial.counts(s) for s in spec.states], axis=1
             )
             assert np.array_equal(recorder.count_tensor()[m], expected)
+
+    def test_total_messages_matches_serial(self):
+        # total_messages is part of the RoundEngine-compatible surface
+        # and must work in both modes: lockstep aggregates the embedded
+        # engines' counters.
+        spec = pull_protocol()
+        initial = {"x": 280, "y": 20}
+        batch = BatchRoundEngine(
+            spec, n=300, trials=3, initial=initial, seed=21, mode="lockstep",
+        )
+        batch.run(15)
+        expected = []
+        for trial_seed in batch.trial_seeds:
+            engine = RoundEngine(spec, n=300, initial=initial, seed=trial_seed)
+            engine.run(15)
+            expected.append(engine.total_messages)
+        assert np.array_equal(batch.total_messages, expected)
+
+        vectorized = BatchRoundEngine(
+            spec, n=300, trials=3, initial=initial, seed=21, mode="batch",
+        )
+        vectorized.run(15)
+        assert vectorized.total_messages.shape == (3,)
+        assert np.all(vectorized.total_messages > 0)
 
     def test_transition_tensor_matches_serial(self):
         spec = figure1_protocol(EndemicParams(alpha=0.01, gamma=0.1, b=2))
@@ -208,6 +236,19 @@ class TestBatchModeConsistency:
         view.set_states(np.arange(10), "y")
         assert view.counts()["y"] == 10
         assert len(view.members_in("y")) == 10
+        batch._validate_consistency()
+
+    def test_set_states_tolerates_duplicate_hosts(self):
+        # RoundEngine.set_states deduplicates; a duplicated id must not
+        # double-count in the incremental counts or member lists.
+        spec = pull_protocol()
+        batch = BatchRoundEngine(
+            spec, n=100, trials=2, initial={"x": 100, "y": 0}, seed=2
+        )
+        view = batch.trial_views()[0]
+        view.set_states(np.array([3, 3, 7, 7, 7]), "y")
+        assert view.counts() == {"x": 98, "y": 2}
+        assert sorted(view.members_in("y")) == [3, 7]
         batch._validate_consistency()
 
     def test_tokenize_semantics(self):

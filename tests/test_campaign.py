@@ -1,6 +1,7 @@
 """Tests for the campaign runner (repro.campaign)."""
 
 import json
+import warnings
 
 import numpy as np
 import pytest
@@ -176,7 +177,110 @@ class TestFanOut:
             run_campaign(tiny_spec(), workers=0)
 
 
+def _stock_pull_builder(n):
+    # Module-level so it pickles by reference and can ride over a
+    # process boundary to pool workers (spawn start method).
+    from repro.protocols.epidemic import pull_protocol
+
+    return pull_protocol(), {"x": n - 2, "y": 2}
+
+
 class TestRegistryExtension:
+    def test_custom_entries_tracks_runtime_registrations(self):
+        from repro.campaign import registry
+
+        register_protocol("snap-pull", _stock_pull_builder)
+        try:
+            protocols, scenarios = registry.custom_entries()
+            assert protocols == {"snap-pull": _stock_pull_builder}
+            assert scenarios == {}
+        finally:
+            registry._PROTOCOLS.pop("snap-pull")
+        protocols, scenarios = registry.custom_entries()
+        assert protocols == {} and scenarios == {}
+
+    def test_custom_entries_detects_replaced_builtin(self):
+        # register_protocol documents "register (or replace)": a
+        # replaced built-in must ship to pool workers, so detection is
+        # by identity, not name.
+        from repro.campaign import registry
+
+        original = registry._PROTOCOLS["epidemic-pull"]
+        register_protocol("epidemic-pull", _stock_pull_builder)
+        try:
+            protocols, _ = registry.custom_entries()
+            assert protocols == {"epidemic-pull": _stock_pull_builder}
+        finally:
+            registry._PROTOCOLS["epidemic-pull"] = original
+        protocols, _ = registry.custom_entries()
+        assert protocols == {}
+
+    def test_install_entries_registers(self):
+        from repro.campaign import registry
+
+        registry.install_entries({"installed-pull": _stock_pull_builder}, {})
+        try:
+            spec, initial = build_protocol("installed-pull", 50)
+            assert initial == {"x": 48, "y": 2}
+        finally:
+            registry._PROTOCOLS.pop("installed-pull")
+
+    def test_fan_out_with_custom_protocol(self):
+        # Workers re-install runtime registrations via the pool
+        # initializer, so a campaign over a custom protocol must give
+        # the same results with and without fan-out.
+        from repro.campaign import registry
+
+        register_protocol("fan-pull", _stock_pull_builder)
+        try:
+            spec = tiny_spec(protocols=["fan-pull"], group_sizes=[200, 300],
+                             trials=2, periods=10)
+            serial = run_campaign(spec, workers=1)
+            parallel = run_campaign(spec, workers=2)
+            for a, b in zip(serial.results, parallel.results):
+                assert a.final_counts == b.final_counts
+        finally:
+            registry._PROTOCOLS.pop("fan-pull")
+
+    def test_fan_out_unpicklable_builder_runs_serially(self):
+        # A closure can't cross the process boundary; the campaign
+        # must still complete (serial fallback, with a warning)
+        # instead of crashing inside the workers.
+        from repro.campaign import registry
+        from repro.protocols.epidemic import pull_protocol
+
+        register_protocol(
+            "closure-pull", lambda n: (pull_protocol(), {"x": n - 1, "y": 1})
+        )
+        try:
+            spec = tiny_spec(protocols=["closure-pull"],
+                             group_sizes=[200, 300], trials=2, periods=10)
+            with pytest.warns(RuntimeWarning, match="serially"):
+                result = run_campaign(spec, workers=2)
+            assert len(result.results) == 2
+        finally:
+            registry._PROTOCOLS.pop("closure-pull")
+
+    def test_unused_unpicklable_registration_keeps_fan_out(self):
+        # Only builders the campaign references are shipped to the
+        # workers; an unrelated exploratory closure in the registry
+        # must not downgrade a builtin-only grid to a serial run.
+        from repro.campaign import registry
+        from repro.protocols.epidemic import pull_protocol
+
+        register_protocol(
+            "unused-closure",
+            lambda n: (pull_protocol(), {"x": n - 1, "y": 1}),
+        )
+        try:
+            spec = tiny_spec(group_sizes=[200, 300], trials=2, periods=10)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                result = run_campaign(spec, workers=2)
+            assert len(result.results) == 2
+        finally:
+            registry._PROTOCOLS.pop("unused-closure")
+
     def test_custom_protocol_and_scenario(self):
         from repro.protocols.epidemic import pull_protocol
 
@@ -229,3 +333,56 @@ class TestCampaignCli:
             "campaign", "--protocol", "nope", "--dry-run",
         ]) == 1
         assert "invalid campaign" in capsys.readouterr().err
+
+    def test_config_rejects_axis_flags(self, tmp_path, capsys):
+        # Grid axes live in the config file; silently ignoring an axis
+        # flag would run with parameters the user thinks they overrode.
+        config = tmp_path / "spec.json"
+        config.write_text(tiny_spec(periods=10).to_json())
+        assert cli_main([
+            "campaign", "--config", str(config),
+            "--loss-rate", "0.2", "--dry-run",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "--loss-rate" in err and "--config" in err
+
+    def test_replay_unknown_protocol_fails_cleanly(self, tmp_path, capsys):
+        # A results file recorded with a runtime-registered protocol
+        # (or a typoed name) must produce a clean error, not a
+        # traceback.
+        from repro.campaign import registry
+
+        register_protocol("ephemeral", _stock_pull_builder)
+        try:
+            spec = tiny_spec(protocols=["ephemeral"], trials=2, periods=10)
+            result = run_campaign(spec)
+        finally:
+            registry._PROTOCOLS.pop("ephemeral")
+        out_file = tmp_path / "results.json"
+        out_file.write_text(result.to_json())
+        assert cli_main(["campaign", "--replay", str(out_file)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot replay" in err and "ephemeral" in err
+
+    def test_replay_rejects_other_flags(self, tmp_path, capsys):
+        # Same silent-ignore class as --config + axis flags: a replay
+        # re-runs the stored points exactly as recorded.
+        out_file = tmp_path / "results.json"
+        out_file.write_text(
+            CampaignResult(spec=tiny_spec(), results=[]).to_json()
+        )
+        assert cli_main([
+            "campaign", "--replay", str(out_file), "--trials", "16",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "--trials" in err and "--replay" in err
+
+    def test_config_scalar_overrides_still_apply(self, tmp_path, capsys):
+        config = tmp_path / "spec.json"
+        config.write_text(tiny_spec(periods=10).to_json())
+        assert cli_main([
+            "campaign", "--config", str(config), "--trials", "9",
+            "--name", "renamed", "--dry-run",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "9 trials" in out and "renamed" in out
