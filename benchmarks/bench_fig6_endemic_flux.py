@@ -17,6 +17,14 @@ from endemic_runs import figure5_run
 
 from repro.viz.ascii_plot import render_series
 
+#: Minimum expected receptive->stash transfer events (summed over the
+#: ensemble) in the pre- and post-failure windows for the mean-flux
+#: assertions to be signal rather than shot noise: at K expected events
+#: the relative shot noise is ~1/sqrt(K), and the tightest check (post
+#: ~= pre/2 within 60%) needs that comfortably under the tolerance.
+MIN_PRE_EVENTS = 50.0
+MIN_POST_EVENTS = 25.0
+
 
 def test_fig6_endemic_flux(run_once):
     data = run_once(figure5_run)
@@ -50,15 +58,41 @@ def test_fig6_endemic_flux(run_once):
         title="Figure 6: file flux rate (transfers per period, "
               "ensemble mean)",
     )
+    # Noise gate: the shape checks compare *mean transfer rates*, so
+    # they need enough expected transfer events in the observation
+    # windows to rise above shot noise.  Reduced-scale runs (small N
+    # shrinks the equilibrium flux linearly, short horizons shrink the
+    # windows) fall below that and used to false-fail at
+    # REPRO_BENCH_SCALE < ~0.1; they now skip the assertions instead
+    # (the artifact is still written, marked as sub-scale).
+    expected_pre = eq_flux_pre * data["trials"] * len(pre)
+    expected_post = (eq_flux_pre / 2) * data["trials"] * len(post)
+    fragile = (
+        expected_pre < MIN_PRE_EVENTS or expected_post < MIN_POST_EVENTS
+        or len(pre) < 5 or len(post) < 5
+    )
+    status = (
+        f"SKIPPED (sub-scale: ~{expected_pre:.0f} expected pre-failure / "
+        f"~{expected_post:.0f} post-failure transfer events, need "
+        f">= {MIN_PRE_EVENTS:g} / {MIN_POST_EVENTS:g})" if fragile else "PASS"
+    )
     report("fig6_endemic_flux", "\n".join([
         f"N={n}  trials={data['trials']}  failure at t={fail_at}",
         "paper shape: flux stays low; no drastic change at the failure",
+        f"status: {status}",
         "",
         table,
         "",
         plot,
     ]))
 
+    if fragile:
+        pytest.skip(
+            f"fig6 flux assertions need >= {MIN_PRE_EVENTS:g} pre- and "
+            f">= {MIN_POST_EVENTS:g} post-failure expected transfer events "
+            f"(got ~{expected_pre:.0f} / ~{expected_post:.0f}); raise "
+            "REPRO_BENCH_SCALE"
+        )
     # Shape: the flux stays low (single digits per period for this
     # configuration) and the failure does not cause a drastic spike.
     assert np.mean(pre) == pytest.approx(eq_flux_pre, rel=0.5)

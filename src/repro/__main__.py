@@ -11,6 +11,7 @@ Usage::
     python -m repro campaign  [--config spec.json | --protocol lv --n 1000
                                --loss-rate 0.05 --scenario massive-failure]
                                [--trials 16] [--periods 200] [--workers 4]
+                               [--shards 4] [--save-tensors DIR]
                                [--out results.json] [--dry-run]
                                [--replay results.json]
 
@@ -199,6 +200,8 @@ def _campaign_spec_from_args(args) -> CampaignSpec:
             spec.stride = args.stride
         if args.mode is not None:
             spec.mode = args.mode
+        if args.shards is not None:
+            spec.shards = args.shards
         return spec
     return CampaignSpec(
         name=args.name if args.name is not None else "campaign",
@@ -211,6 +214,7 @@ def _campaign_spec_from_args(args) -> CampaignSpec:
         base_seed=args.seed if args.seed is not None else 0,
         stride=args.stride if args.stride is not None else 1,
         mode=args.mode if args.mode is not None else "batch",
+        shards=args.shards if args.shards is not None else 1,
     )
 
 
@@ -240,8 +244,10 @@ def cmd_campaign(args) -> int:
                 ("--seed", args.seed is not None),
                 ("--stride", args.stride is not None),
                 ("--mode", args.mode is not None),
+                ("--shards", args.shards is not None),
                 ("--workers", args.workers != 1),
                 ("--out", bool(args.out)),
+                ("--save-tensors", bool(args.save_tensors)),
                 ("--dry-run", args.dry_run),
             ) if present
         ]
@@ -305,10 +311,16 @@ def cmd_campaign(args) -> int:
               f"dominant state {top} "
               f"(mean {result.summary[top]['mean']:.1f})")
 
-    result = run_campaign(spec, workers=args.workers, progress=progress)
+    result = run_campaign(
+        spec, workers=args.workers, progress=progress,
+        save_tensors=args.save_tensors,
+    )
     if args.out:
         Path(args.out).write_text(result.to_json())
         print(f"wrote {len(result.results)} point results to {args.out}")
+    if args.save_tensors:
+        print(f"wrote {len(result.results)} count tensors to "
+              f"{args.save_tensors}")
     return 0
 
 
@@ -395,9 +407,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--mode", choices=("batch", "lockstep"),
                         default=None,
                         help="batch engine RNG mode (default batch)")
+    p_camp.add_argument("--shards", type=int, default=None,
+                        help="split each point's trial axis into this "
+                             "many independently seeded sub-ensembles "
+                             "(default 1; they fan out across --workers)")
     p_camp.add_argument("--workers", type=int, default=1,
-                        help="processes to fan parameter points across")
+                        help="processes to fan shards/points across")
     p_camp.add_argument("--out", help="write results JSON here")
+    p_camp.add_argument("--save-tensors", metavar="DIR",
+                        help="also write each point's full (M, periods, "
+                             "states) count tensor as a compressed .npz "
+                             "into this directory")
     p_camp.add_argument("--dry-run", action="store_true",
                         help="print the expanded grid and exit")
     p_camp.add_argument("--replay", metavar="RESULTS_JSON",

@@ -28,7 +28,28 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import stats
 
-from ..runtime.metrics import MetricsRecorder
+def _member_log_of(source) -> List[Tuple[int, np.ndarray]]:
+    """Accept a recorder or a raw ``[(period, member ids), ...]`` list.
+
+    The raw-list form is how the batched Figure 8 bench feeds one
+    ensemble member's log
+    (:meth:`~repro.runtime.batch_engine.BatchMetricsRecorder.trial_member_log`).
+    """
+    log = getattr(source, "member_log", source)
+    if not log:
+        raise ValueError(
+            "no member log (set member_log_state on the recorder)"
+        )
+    log = list(log)
+    # A BatchMetricsRecorder's own member_log holds *per-trial lists*
+    # of arrays; analysis works on one trial at a time.
+    if not isinstance(log[0][1], np.ndarray):
+        raise ValueError(
+            "member log entries must be (period, member ids) pairs; for "
+            "a batched recorder pass trial_member_log(trial), not the "
+            "recorder itself"
+        )
+    return log
 
 
 @dataclass(frozen=True)
@@ -92,20 +113,21 @@ def _runs_per_host(
 
 
 def analyze_member_log(
-    recorder: MetricsRecorder,
+    recorder,
     n_hosts: int,
     gamma: Optional[float] = None,
 ) -> FairnessReport:
     """Compute the Figure 8 statistics from a recorded member log.
 
-    ``gamma`` (the per-period stash-to-averse rate) gives the geometric
-    dwell distribution used for the expected maximum stint length:
-    with ``k`` observed stints the expected maximum is roughly
-    ``ln(k) / gamma``.
+    ``recorder`` is a :class:`~repro.runtime.metrics.MetricsRecorder`
+    (or anything with a ``member_log``), or a raw
+    ``[(period, member ids), ...]`` list such as one trial of a batched
+    ensemble.  ``gamma`` (the per-period stash-to-averse rate) gives
+    the geometric dwell distribution used for the expected maximum
+    stint length: with ``k`` observed stints the expected maximum is
+    roughly ``ln(k) / gamma``.
     """
-    log = recorder.member_log
-    if not log:
-        raise ValueError("recorder has no member log (set member_log_state)")
+    log = _member_log_of(recorder)
     periods = len(log)
     occupancy = np.zeros(n_hosts, dtype=np.int64)
     host_times: List[Tuple[int, int]] = []
@@ -168,7 +190,7 @@ def analyze_member_log(
 
 
 def attack_window_decay(
-    recorder: MetricsRecorder, lags: Sequence[int] = (1, 5, 10, 20, 50)
+    recorder, lags: Sequence[int] = (1, 5, 10, 20, 50)
 ) -> Dict[int, float]:
     """How stale a snapshot of responsible hosts becomes with lag.
 
@@ -178,9 +200,7 @@ def attack_window_decay(
     window shrinks geometrically, which is the untraceability argument
     in quantitative form.
     """
-    log = recorder.member_log
-    if not log:
-        raise ValueError("recorder has no member log")
+    log = _member_log_of(recorder)
     out: Dict[int, float] = {}
     for lag in lags:
         overlaps = []
@@ -198,16 +218,14 @@ def attack_window_decay(
 
 
 def fairness_over_time(
-    recorder: MetricsRecorder, n_hosts: int, checkpoints: int = 5
+    recorder, n_hosts: int, checkpoints: int = 5
 ) -> List[Tuple[int, float]]:
     """Jain index measured over growing prefixes of the member log.
 
     Fairness is an asymptotic property ("over a long time of running");
     this shows the index rising toward 1 as the window grows.
     """
-    log = recorder.member_log
-    if not log:
-        raise ValueError("recorder has no member log")
+    log = _member_log_of(recorder)
     out = []
     for checkpoint in range(1, checkpoints + 1):
         upto = max(1, (len(log) * checkpoint) // checkpoints)

@@ -32,6 +32,12 @@ class CampaignPoint:
     seed: int
     stride: int = 1
     mode: str = "batch"
+    #: Trial-axis sharding: the point's M trials split into this many
+    #: independently seeded sub-ensembles, which the campaign runner can
+    #: fan out across workers.  Part of the point's identity: replays
+    #: reproduce a sharded run bit for bit only with the same shard
+    #: count (shard seeds are spawned from (seed, shard domain)).
+    shards: int = 1
 
     @property
     def label(self) -> str:
@@ -61,6 +67,7 @@ class CampaignSpec:
     base_seed: int = 0
     stride: int = 1
     mode: str = "batch"
+    shards: int = 1
 
     def validate(self) -> None:
         if not self.protocols or not self.group_sizes \
@@ -90,6 +97,11 @@ class CampaignSpec:
                 raise ValueError(f"loss rate must lie in [0, 1), got {rate}")
         if self.mode not in ("batch", "lockstep"):
             raise ValueError(f"mode must be 'batch' or 'lockstep', got {self.mode!r}")
+        if not 1 <= self.shards <= self.trials:
+            raise ValueError(
+                f"shards must lie in [1, trials={self.trials}], "
+                f"got {self.shards}"
+            )
 
     def expand(self) -> List[CampaignPoint]:
         """The grid cells, each with its spawned deterministic seed."""
@@ -109,6 +121,7 @@ class CampaignSpec:
                 seed=seed,
                 stride=self.stride,
                 mode=self.mode,
+                shards=self.shards,
             )
             for (protocol, n, loss_rate, scenario), seed in zip(cells, seeds)
         ]

@@ -65,12 +65,23 @@ def _build_lv(n: int):
     return lv_protocol(p=0.01), {"x": zeros, "y": n - zeros, "z": 0}
 
 
+def _build_lv_close(n: int):
+    # The accuracy regime near the saddle (Section 4.2): a 52/48 split,
+    # where majority selection is hardest and the w.h.p. guarantee is
+    # weakest.  Campaign grids over this entry (large M, trial-axis
+    # sharding) are how the fig7/fig8-family accuracy ensembles run at
+    # scale on the batch engine.
+    zeros = int(round(0.52 * n))
+    return lv_protocol(p=0.01), {"x": zeros, "y": n - zeros, "z": 0}
+
+
 _PROTOCOLS: Dict[str, ProtocolBuilder] = {
     "epidemic-pull": _build_epidemic_pull,
     "epidemic-push": _build_epidemic_push,
     "epidemic-push-pull": _build_epidemic_push_pull,
     "endemic": _build_endemic,
     "lv": _build_lv,
+    "lv-close": _build_lv_close,
 }
 
 

@@ -2,10 +2,24 @@
 
 Each :class:`~repro.campaign.grid.CampaignPoint` runs as one
 :class:`~repro.runtime.batch_engine.BatchRoundEngine` ensemble (the
-trial axis is vectorized); independent points fan out across worker
-processes with :mod:`multiprocessing`.  Results carry every seed that
-produced them, so :func:`replay_point` can re-run any point and
-:func:`verify_replay` can check a stored result file bit-for-bit.
+trial axis is vectorized).  Two axes of process-level parallelism
+compose on top:
+
+* independent grid *points* fan out across worker processes;
+* a single point with ``shards > 1`` splits its trial axis into that
+  many independently seeded sub-ensembles (shard seeds spawned from
+  ``(point.seed, shard domain)``), which fan out across the same pool
+  -- the ROADMAP's "very large M" case, where one point is the whole
+  campaign.
+
+Sharded or not, a point's result is assembled with integer-exact
+arithmetic (count sums, not means of means), so serial runs, pooled
+runs and replays of the same point agree bit for bit.  Results carry
+every seed that produced them, so :func:`replay_point` can re-run any
+point and :func:`verify_replay` can check a stored result file
+bit-for-bit.  ``save_tensors`` additionally persists each point's full
+``(M, periods, states)`` count tensor as a compressed ``.npz`` for
+offline analysis.
 """
 
 from __future__ import annotations
@@ -15,12 +29,14 @@ import multiprocessing
 import pickle
 import time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
+from ..runtime.rng import spawn_seeds
 from .grid import CampaignPoint, CampaignSpec
 from .registry import (
     build_protocol,
@@ -31,6 +47,10 @@ from .registry import (
 
 #: Quantiles reported in point summaries.
 SUMMARY_QUANTILES = (0.25, 0.5, 0.75)
+
+#: Entropy domain separating shard seed families from everything else
+#: (scenario streams use their own domain in the registry).
+_SHARD_DOMAIN = 0x51A4
 
 
 @dataclass
@@ -45,7 +65,14 @@ class PointResult:
     mean_trajectory: Dict[str, List[float]]
     recorded_periods: List[int]
     mean_alive: List[float]
+    #: Aggregate compute time over the point's shards.  For an
+    #: unsharded point this is the point's wall clock; with shards
+    #: fanned out across workers it exceeds the wall time (it is the
+    #: CPU-seconds the point cost, not how long you waited).
     elapsed_seconds: float
+    #: Set when the campaign ran with ``save_tensors``: file name of the
+    #: compressed full count tensor, relative to the tensors directory.
+    tensor_path: Optional[str] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -58,6 +85,7 @@ class PointResult:
             "recorded_periods": list(self.recorded_periods),
             "mean_alive": list(self.mean_alive),
             "elapsed_seconds": self.elapsed_seconds,
+            "tensor_path": self.tensor_path,
         }
 
     @classmethod
@@ -77,6 +105,7 @@ class PointResult:
             recorded_periods=list(data["recorded_periods"]),
             mean_alive=list(data["mean_alive"]),
             elapsed_seconds=float(data["elapsed_seconds"]),
+            tensor_path=data.get("tensor_path"),
         )
 
 
@@ -136,39 +165,98 @@ def _composite_hook_factory(point: CampaignPoint) -> Callable[[int], Callable]:
     return factory
 
 
-def _run_ensemble(
-    point: CampaignPoint,
-) -> Tuple[BatchRoundEngine, BatchMetricsRecorder]:
-    """Build and run one point's ensemble.
+def _shard_points(point: CampaignPoint) -> List[CampaignPoint]:
+    """Split a point's trial axis into independently seeded shards.
 
-    The single execution path shared by :func:`run_point` and
-    :func:`replay_point`: the replay guarantee holds only while both go
-    through the exact same engine/recorder/hook construction.
+    Each shard is a plain single-shard point with its own seed (spawned
+    from ``(point.seed, _SHARD_DOMAIN)``) and an even slice of the
+    trials, so it can run anywhere :func:`run_point` runs.  The split
+    depends only on the point, which is what makes sharded runs
+    replayable.
     """
-    engine = _make_engine(point)
+    if point.shards <= 1:
+        return [point]
+    base, extra = divmod(point.trials, point.shards)
+    sizes = [base + (1 if k < extra else 0) for k in range(point.shards)]
+    seeds = spawn_seeds((point.seed, _SHARD_DOMAIN), point.shards)
+    return [
+        replace(point, trials=size, seed=shard_seed, shards=1)
+        for size, shard_seed in zip(sizes, seeds)
+        if size > 0
+    ]
+
+
+@dataclass
+class _ShardOutput:
+    """One shard's raw outcome, in merge-exact (integer) form."""
+
+    states: List[str]
+    trial_seeds: List[int]
+    final_counts: np.ndarray       # (M_shard, S) int64
+    count_sums: np.ndarray         # (periods, S) int64, summed over trials
+    alive_sums: np.ndarray         # (periods,) int64
+    recorded_periods: List[int]
+    elapsed_seconds: float
+    tensor: Optional[np.ndarray]   # (M_shard, periods, S) when requested
+
+
+def _run_shard(
+    shard: CampaignPoint, want_tensor: bool = False
+) -> _ShardOutput:
+    """Build and run one (sub-)point's ensemble.
+
+    The single execution path behind :func:`run_point`,
+    :func:`replay_point` and the pool workers: the replay guarantee
+    holds only while all of them go through the exact same
+    engine/recorder/hook construction.
+    """
+    started = time.perf_counter()
+    engine = _make_engine(shard)
     recorder = BatchMetricsRecorder(
-        engine.state_names, point.trials,
-        track_transitions=False, stride=point.stride,
+        engine.state_names, shard.trials,
+        track_transitions=False, stride=shard.stride,
     )
     engine.run(
-        point.periods, recorder=recorder,
-        hook_factories=[_composite_hook_factory(point)],
+        shard.periods, recorder=recorder,
+        hook_factories=[_composite_hook_factory(shard)],
     )
-    return engine, recorder
+    tensor = recorder.count_tensor()
+    return _ShardOutput(
+        states=list(engine.state_names),
+        trial_seeds=list(engine.trial_seeds),
+        final_counts=engine.counts_matrix(),
+        count_sums=tensor.sum(axis=0),
+        alive_sums=recorder.alive_tensor().sum(axis=0),
+        recorded_periods=[int(t) for t in recorder.times],
+        elapsed_seconds=time.perf_counter() - started,
+        tensor=tensor if want_tensor else None,
+    )
 
 
-def run_point(point: CampaignPoint) -> PointResult:
-    """Execute one campaign point as a batched ensemble."""
-    started = time.perf_counter()
-    engine, recorder = _run_ensemble(point)
-    elapsed = time.perf_counter() - started
+def _merge_shards(
+    point: CampaignPoint, outputs: List[_ShardOutput]
+) -> PointResult:
+    """Assemble a point result from its shard outputs.
 
-    final = engine.counts_matrix()
+    All reductions are integer sums divided once at the end, so the
+    result is bitwise independent of how the trials were sharded across
+    processes -- a serial run, a pooled run and a replay of the same
+    point always produce the same numbers.
+    """
+    first = outputs[0]
+    for output in outputs[1:]:
+        if output.recorded_periods != first.recorded_periods:
+            raise AssertionError("shards disagree on recording schedule")
+    states = first.states
+    total_trials = sum(len(o.trial_seeds) for o in outputs)
+    finals = np.concatenate([o.final_counts for o in outputs], axis=0)
+    count_sums = sum(o.count_sums for o in outputs)
+    alive_sums = sum(o.alive_sums for o in outputs)
     summary: Dict[str, Dict[str, float]] = {}
     final_counts: Dict[str, List[int]] = {}
     mean_trajectory: Dict[str, List[float]] = {}
-    for index, state in enumerate(engine.state_names):
-        series = final[:, index]
+    for index, state in enumerate(states):
+        series = finals[:, index]
         stats = {
             "mean": float(series.mean()),
             "std": float(series.std()),
@@ -182,37 +270,98 @@ def run_point(point: CampaignPoint) -> PointResult:
         summary[state] = stats
         final_counts[state] = [int(v) for v in series]
         mean_trajectory[state] = [
-            float(v) for v in recorder.mean_counts(state)
+            float(v) for v in count_sums[:, index] / total_trials
         ]
     return PointResult(
         point=point,
-        states=list(engine.state_names),
-        trial_seeds=list(engine.trial_seeds),
+        states=states,
+        trial_seeds=[s for o in outputs for s in o.trial_seeds],
         final_counts=final_counts,
         summary=summary,
         mean_trajectory=mean_trajectory,
-        recorded_periods=[int(t) for t in recorder.times],
-        mean_alive=[float(v) for v in recorder.mean_alive()],
-        elapsed_seconds=elapsed,
+        recorded_periods=list(first.recorded_periods),
+        mean_alive=[float(v) for v in alive_sums / total_trials],
+        elapsed_seconds=sum(o.elapsed_seconds for o in outputs),
     )
+
+
+def run_point(point: CampaignPoint) -> PointResult:
+    """Execute one campaign point (all of its shards, in this process)."""
+    return _merge_shards(
+        point, [_run_shard(shard) for shard in _shard_points(point)]
+    )
+
+
+def _tensor_file_name(spec_name: str, index: int) -> str:
+    safe = "".join(
+        c if c.isalnum() or c in "-_" else "-" for c in spec_name
+    ) or "campaign"
+    return f"{safe}-point{index:03d}.npz"
+
+
+def _save_tensor(
+    directory: Path,
+    spec_name: str,
+    index: int,
+    result: PointResult,
+    tensor: np.ndarray,
+) -> str:
+    """Persist one point's full count tensor as a compressed ``.npz``.
+
+    Layout: ``counts`` is the ``(M, periods, S)`` tensor in
+    ``trial_seeds`` order, ``periods``/``states``/``trial_seeds`` label
+    its axes, and ``point_json`` carries the producing point for
+    provenance (``json.loads(str(...))`` round-trips it).
+    """
+    name = _tensor_file_name(spec_name, index)
+    np.savez_compressed(
+        directory / name,
+        counts=tensor,
+        periods=np.asarray(result.recorded_periods, dtype=np.int64),
+        states=np.asarray(result.states),
+        trial_seeds=np.asarray(result.trial_seeds, dtype=np.uint64),
+        point_json=np.asarray(json.dumps(result.point.to_dict())),
+    )
+    return name
 
 
 def run_campaign(
     spec: CampaignSpec,
     workers: int = 1,
     progress: Optional[Callable[[PointResult], None]] = None,
+    save_tensors: Optional[str] = None,
 ) -> CampaignResult:
     """Run every point of the campaign grid.
 
-    ``workers > 1`` fans the parameter points out across that many
-    processes (each point's trial axis is already vectorized, so the
-    pool parallelizes the *grid*, not the trials).  Results are
-    returned in grid order regardless of completion order.
+    ``workers > 1`` fans work out across that many processes.  The unit
+    of fan-out is the *shard*: with ``spec.shards == 1`` (default) that
+    is one grid point per job (each point's trial axis is already
+    vectorized), and with ``spec.shards > 1`` each point additionally
+    splits its trial axis into independently seeded sub-ensembles so a
+    small grid with a very large M still fills the pool.  Results are
+    returned in grid order, and are bitwise identical however the jobs
+    were scheduled (see :func:`_merge_shards`).
+
+    ``save_tensors`` names a directory (created if missing) that
+    receives one compressed ``.npz`` per point with the full
+    ``(M, periods, states)`` count tensor; each
+    :class:`PointResult.tensor_path` records its file.
     """
     points = spec.expand()
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    fan_out = workers > 1 and len(points) > 1
+    tensors_dir: Optional[Path] = None
+    if save_tensors is not None:
+        tensors_dir = Path(save_tensors)
+        tensors_dir.mkdir(parents=True, exist_ok=True)
+    want_tensor = tensors_dir is not None
+
+    jobs = [
+        (point_index, shard_index, shard, want_tensor)
+        for point_index, point in enumerate(points)
+        for shard_index, shard in enumerate(_shard_points(point))
+    ]
+    fan_out = workers > 1 and len(jobs) > 1
     if fan_out:
         # Worker processes under the spawn start method (macOS/Windows
         # default) re-import the registry and see only the built-ins,
@@ -237,41 +386,67 @@ def run_campaign(
             warnings.warn(
                 "campaign references runtime-registered builders that "
                 "cannot be pickled to worker processes; running the "
-                f"{len(points)}-point grid serially instead of on "
+                f"{len(jobs)}-job grid serially instead of on "
                 f"{workers} workers",
                 RuntimeWarning,
                 stacklevel=2,
             )
             fan_out = False
 
+    # Stream completion: a point is merged, saved and reported as soon
+    # as its last shard lands, and its shard outputs (which hold the
+    # full tensors when save_tensors is on) are freed immediately --
+    # the pool never forces the whole campaign resident at once.
+    shard_counts = [0] * len(points)
+    for point_index, _, _, _ in jobs:
+        shard_counts[point_index] += 1
+    pending: Dict[int, Dict[int, _ShardOutput]] = {}
+    results: Dict[int, PointResult] = {}
+
+    def complete(point_index: int, shard_index: int,
+                 output: _ShardOutput) -> None:
+        bucket = pending.setdefault(point_index, {})
+        bucket[shard_index] = output
+        if len(bucket) < shard_counts[point_index]:
+            return
+        shard_outputs = [bucket[k] for k in sorted(bucket)]
+        del pending[point_index]
+        result = _merge_shards(points[point_index], shard_outputs)
+        if tensors_dir is not None:
+            tensor = np.concatenate(
+                [o.tensor for o in shard_outputs], axis=0
+            )
+            result.tensor_path = _save_tensor(
+                tensors_dir, spec.name, point_index, result, tensor
+            )
+        if progress is not None:
+            progress(result)
+        results[point_index] = result
+
     if not fan_out:
-        results = []
-        for point in points:
-            result = run_point(point)
-            if progress is not None:
-                progress(result)
-            results.append(result)
-        return CampaignResult(spec=spec, results=results)
+        for point_index, shard_index, shard, with_tensor in jobs:
+            complete(
+                point_index, shard_index,
+                _run_shard(shard, want_tensor=with_tensor),
+            )
+    else:
+        with multiprocessing.Pool(
+            processes=min(workers, len(jobs)),
+            initializer=install_entries, initargs=extra,
+        ) as pool:
+            for key, output in pool.imap_unordered(_run_shard_job, jobs):
+                complete(key[0], key[1], output)
 
-    with multiprocessing.Pool(
-        processes=min(workers, len(points)),
-        initializer=install_entries, initargs=extra,
-    ) as pool:
-        indexed: Dict[int, PointResult] = {}
-        jobs = pool.imap_unordered(
-            _run_indexed, list(enumerate(points))
-        )
-        for index, result in jobs:
-            indexed[index] = result
-            if progress is not None:
-                progress(result)
-    results = [indexed[i] for i in range(len(points))]
-    return CampaignResult(spec=spec, results=results)
+    return CampaignResult(
+        spec=spec, results=[results[i] for i in range(len(points))]
+    )
 
 
-def _run_indexed(indexed_point):
-    index, point = indexed_point
-    return index, run_point(point)
+def _run_shard_job(job):
+    point_index, shard_index, shard, want_tensor = job
+    return (point_index, shard_index), _run_shard(
+        shard, want_tensor=want_tensor
+    )
 
 
 # ----------------------------------------------------------------------
@@ -281,10 +456,17 @@ def replay_point(point: CampaignPoint) -> np.ndarray:
     """Re-run a point and return its full ``(M, periods, S)`` count tensor.
 
     Campaign seeds are recorded in specs and results, so the same point
-    always reproduces the same tensor (same numpy version and mode).
+    always reproduces the same tensor (same numpy version and mode);
+    trial rows follow the merged shard order, i.e. the recorded
+    ``trial_seeds``.
     """
-    _, recorder = _run_ensemble(point)
-    return recorder.count_tensor()
+    return np.concatenate(
+        [
+            _run_shard(shard, want_tensor=True).tensor
+            for shard in _shard_points(point)
+        ],
+        axis=0,
+    )
 
 
 def verify_replay(result: PointResult) -> bool:

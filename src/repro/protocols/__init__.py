@@ -36,11 +36,14 @@ from .lv import (
     ONE,
     UNDECIDED,
     ZERO,
+    LVEnsemble,
     LVMajority,
+    MajorityEnsembleOutcome,
     MajorityOutcome,
     expected_convergence_periods,
     lv_protocol,
     majority_accuracy,
+    majority_accuracy_serial,
 )
 
 __all__ = [
@@ -60,9 +63,12 @@ __all__ = [
     "STASH",
     "AVERSE",
     "LVMajority",
+    "LVEnsemble",
     "MajorityOutcome",
+    "MajorityEnsembleOutcome",
     "lv_protocol",
     "majority_accuracy",
+    "majority_accuracy_serial",
     "expected_convergence_periods",
     "ZERO",
     "ONE",

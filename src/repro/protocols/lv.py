@@ -24,13 +24,19 @@ everywhere and w.h.p. equals the initial majority.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
 from ..odes import library
-from ..runtime import MetricsRecorder, RoundEngine
+from ..runtime import (
+    BatchMetricsRecorder,
+    BatchRoundEngine,
+    MetricsRecorder,
+    RoundEngine,
+)
+from ..runtime.batch_engine import HookFactory
 from ..runtime.round_engine import Hook
 from ..synthesis import ProtocolSpec, synthesize
 
@@ -163,6 +169,166 @@ class LVMajority:
         )
 
 
+@dataclass
+class MajorityEnsembleOutcome:
+    """Per-trial decision tensors of an :class:`LVEnsemble` run.
+
+    All arrays have shape ``(M,)`` and line up with
+    :attr:`LVEnsemble.trial_seeds`.
+    """
+
+    n: int
+    trials: int
+    initial_zero: int
+    initial_one: int
+    #: Winning camp per trial: ``"x"``, ``"y"`` or ``""`` (undecided).
+    winners: np.ndarray
+    #: First period at which a trial's alive processes all agreed
+    #: (-1 if it never converged within the horizon).
+    convergence_periods: np.ndarray
+    recorder: BatchMetricsRecorder = field(repr=False)
+
+    @property
+    def converged(self) -> np.ndarray:
+        """Boolean mask of trials whose alive processes all agree."""
+        return self.winners != ""
+
+    @property
+    def correct(self) -> np.ndarray:
+        """Per-trial correctness mask (meaningless where undecided).
+
+        Combine with :attr:`decided`: a trial counts as decided when it
+        converged and the initial split was not a tie.
+        """
+        if self.initial_zero == self.initial_one:
+            return np.zeros(self.trials, dtype=bool)
+        majority = ZERO if self.initial_zero > self.initial_one else ONE
+        return self.winners == majority
+
+    @property
+    def decided(self) -> np.ndarray:
+        """Trials that produced a gradable decision."""
+        if self.initial_zero == self.initial_one:
+            return np.zeros(self.trials, dtype=bool)
+        return self.converged
+
+    def accuracy(self) -> float:
+        """Fraction of decided trials won by the initial majority."""
+        decided = self.decided
+        if not decided.any():
+            return float("nan")
+        return float(self.correct[decided].sum() / decided.sum())
+
+
+class LVEnsemble:
+    """M majority-selection trials in one ``(M, N)`` batched engine.
+
+    The ensemble sibling of :class:`LVMajority`: the accuracy and
+    untraceability claims of the paper's Section 4.2 experiments are
+    ensemble frequencies, so the M trials run as one
+    :class:`~repro.runtime.batch_engine.BatchRoundEngine` tensor
+    instead of a Python loop over seeded engines.  ``mode="lockstep"``
+    makes trial ``m`` bit-identical to
+    ``LVMajority(..., seed=trial_seeds[m])``, which is the regression
+    anchor for the vectorized path (see ``tests/test_lv.py``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        zeros: int,
+        ones: int,
+        *,
+        trials: int,
+        p: float = 0.01,
+        seed: Optional[int] = None,
+        undecided: int = 0,
+        mode: str = "batch",
+    ):
+        if zeros + ones + undecided != n:
+            raise ValueError(
+                f"zeros+ones+undecided = {zeros + ones + undecided} != n = {n}"
+            )
+        self.n = n
+        self.trials = trials
+        self.initial_zero = zeros
+        self.initial_one = ones
+        self.spec = lv_protocol(p=p)
+        self.engine = BatchRoundEngine(
+            self.spec,
+            n=n,
+            trials=trials,
+            initial={ZERO: zeros, ONE: ones, UNDECIDED: undecided},
+            seed=seed,
+            mode=mode,
+        )
+        self.trial_seeds = self.engine.trial_seeds
+
+    def converged_winners(self) -> np.ndarray:
+        """Per-trial winning camp (``""`` where camps still disagree)."""
+        counts = self.engine.counts_matrix()
+        alive = self.engine.alive_counts()
+        winners = np.full(self.trials, "", dtype="<U1")
+        live = alive > 0
+        winners[live & (counts[:, self.engine.state_id(ZERO)] == alive)] = ZERO
+        winners[live & (counts[:, self.engine.state_id(ONE)] == alive)] = ONE
+        return winners
+
+    def run(
+        self,
+        max_periods: int,
+        recorder: Optional[BatchMetricsRecorder] = None,
+        hook_factories: Iterable[HookFactory] = (),
+        stop_when_all_converged: bool = True,
+    ) -> MajorityEnsembleOutcome:
+        """Advance up to ``max_periods``, tracking per-trial convergence.
+
+        Convergence is absorbing (an unanimous group has nobody left to
+        meet a dissenter), so converged trials keep stepping at no
+        statistical cost while stragglers finish; with
+        ``stop_when_all_converged`` the run ends as soon as every trial
+        has converged.
+        """
+        engine = self.engine
+        if recorder is None:
+            recorder = BatchMetricsRecorder(
+                self.spec.states, self.trials, track_transitions=False
+            )
+        convergence = np.full(self.trials, -1, dtype=np.int64)
+        done = self.converged_winners() != ""
+        convergence[done] = engine.period
+
+        def note_convergence(running: BatchRoundEngine) -> bool:
+            newly = (self.converged_winners() != "") & ~done
+            convergence[newly] = running.period
+            done[newly] = True
+            return stop_when_all_converged and bool(done.all())
+
+        if stop_when_all_converged and done.all():
+            engine.run(0, recorder=recorder)  # record the initial state
+        else:
+            engine.run(
+                max_periods,
+                recorder=recorder,
+                hook_factories=hook_factories,
+                stop=note_convergence,
+            )
+        winners = self.converged_winners()
+        # A trial that decayed out of unanimity (e.g. a recovery hook
+        # reviving hosts into camp x) reports its current state, exactly
+        # like LVMajority's end-of-run winner check.
+        convergence[winners == ""] = -1
+        return MajorityEnsembleOutcome(
+            n=self.n,
+            trials=self.trials,
+            initial_zero=self.initial_zero,
+            initial_one=self.initial_one,
+            winners=winners,
+            convergence_periods=convergence,
+            recorder=recorder,
+        )
+
+
 def majority_accuracy(
     n: int,
     zeros: int,
@@ -171,11 +337,37 @@ def majority_accuracy(
     p: float = 0.01,
     max_periods: int = 4000,
     seed: int = 0,
+    mode: str = "batch",
 ) -> float:
     """Empirical probability that the initial majority wins.
 
     The w.h.p. guarantee weakens as the initial split approaches 50/50
-    (the saddle at ``x = y``); this measures it.
+    (the saddle at ``x = y``); this measures it.  The M trials run as
+    one batched :class:`LVEnsemble`; :func:`majority_accuracy_serial`
+    keeps the pre-batch-engine trial loop alive as the throughput and
+    equivalence baseline.
+    """
+    outcome = LVEnsemble(
+        n, zeros, n - zeros, trials=trials, p=p, seed=seed, mode=mode
+    ).run(max_periods)
+    return outcome.accuracy()
+
+
+def majority_accuracy_serial(
+    n: int,
+    zeros: int,
+    trials: int,
+    *,
+    p: float = 0.01,
+    max_periods: int = 4000,
+    seed: int = 0,
+) -> float:
+    """Reference implementation: a Python loop over M serial runs.
+
+    The pre-batch-engine idiom (one seeded :class:`LVMajority` per
+    trial).  Kept as the baseline for
+    ``benchmarks/bench_lv_accuracy_throughput.py`` and the
+    distributional-equivalence tests.
     """
     wins = 0
     decided = 0

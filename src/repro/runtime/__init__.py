@@ -31,6 +31,7 @@ from .batch_engine import (
     BatchRoundEngine,
     BatchRunResult,
     BatchTrialView,
+    segmented_choice,
     serial_ensemble,
 )
 from .churn import ChurnEvent, ChurnReplayer, ChurnTrace, generate_trace
@@ -51,6 +52,7 @@ __all__ = [
     "BatchRunResult",
     "BatchMetricsRecorder",
     "BatchTrialView",
+    "segmented_choice",
     "serial_ensemble",
     "initial_state_vector",
     "AgentSimulation",

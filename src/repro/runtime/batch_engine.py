@@ -18,13 +18,21 @@ to check synchrony artifacts.
 Two RNG modes trade speed against bitwise reproducibility:
 
 * ``mode="batch"`` (default) -- all trials draw from one root stream
-  and every per-action step (binomial thinning, target sampling,
-  connection-failure masking) is vectorized across the whole batch.
-  Per-state member lists are maintained *incrementally* for
-  sparse-population states (the population-protocol simulation idiom),
-  so a period costs a handful of numpy calls regardless of M.  Trials
-  are statistically independent and distributionally identical to M
-  serial runs, but not draw-for-draw equal to them.
+  and every per-action step (actor selection, target sampling,
+  connection-failure masking, token routing) is vectorized across the
+  whole batch.  Actor selection adapts to the regime: when expected
+  activity is *dense* (the Lotka-Volterra majority protocol, where
+  every camp is a constant fraction of N) each member flips one
+  vectorized Bernoulli coin -- distributionally identical to binomial
+  thinning plus a uniform without-replacement pick -- and when it is
+  *sparse* (heavily tails-weighted coins like the endemic protocol's
+  alpha ~ 1e-6) binomial thinning plus per-trial draws skips the batch
+  scan entirely.  Exact per-trial draw counts (token routing) go
+  through :func:`segmented_choice`, a segmented without-replacement
+  sampler.  Per-state member lists are maintained *incrementally* for
+  sparse-population states (the population-protocol simulation idiom).
+  Trials are statistically independent and distributionally identical
+  to M serial runs, but not draw-for-draw equal to them.
 * ``mode="lockstep"`` -- M embedded :class:`RoundEngine` instances
   seeded with :func:`~repro.runtime.rng.spawn_seeds` trial seeds.
   Each trial is *bitwise identical* to a serial ``RoundEngine`` run
@@ -70,6 +78,115 @@ HookFactory = Callable[[int], Callable[[object], None]]
 Edge = Tuple[str, str]
 
 
+def segmented_choice(
+    rng: np.random.Generator,
+    pool: np.ndarray,
+    bounds: np.ndarray,
+    take: np.ndarray,
+) -> np.ndarray:
+    """Without-replacement draws from every segment of a flat pool at once.
+
+    ``pool`` is a flat array whose segment ``s`` occupies
+    ``pool[bounds[s]:bounds[s + 1]]`` (``bounds`` has ``S + 1`` entries
+    with ``bounds[0] == 0``); ``take[s]`` elements are chosen uniformly
+    without replacement from segment ``s``.  Returns the chosen elements
+    grouped by segment, in ascending pool order within each segment
+    (set semantics: every ``take[s]``-subset is equally likely).
+
+    This is the sampler that removes the batch engine's per-trial
+    ``Generator.choice`` loops: actor selection for sub-1.0-probability
+    actions on dense states (the LV hot path) and token routing both
+    need ``take[m]`` distinct members from each trial's segment, and a
+    Python loop over trials costs O(M) interpreter round trips per
+    action per period.  Two vectorized strategies, chosen by the take
+    fraction:
+
+    * **rejection** (every ``take[s] <= sizes[s] / 4``): draw one
+      candidate position per requested element across all segments at
+      once, keep the non-colliding ones, redraw the rest.  Acceptance
+      is >= 3/4 per round, so the loop terminates in O(log) rounds and
+      the number of random draws is proportional to ``take.sum()`` --
+      not the pool size -- which is what makes dense-state sampling
+      cheap (a 3% coin on a state holding 60% of an (M, N) batch draws
+      ~0.02 * M * N values instead of 0.6 * M * N keys).
+    * **top-k keys** (some segment wants more than a quarter of its
+      pool): one uniform key per candidate, padded to a
+      ``(segments, max_size)`` matrix; the ``take[s]`` smallest keys
+      per row (an axis-1 ``argpartition``) are the sample.
+    """
+    pool = np.asarray(pool)
+    bounds = np.asarray(bounds, dtype=np.int64)
+    take = np.asarray(take, dtype=np.int64)
+    sizes = np.diff(bounds)
+    if take.shape != sizes.shape:
+        raise ValueError(
+            f"take has shape {take.shape}, expected {sizes.shape}"
+        )
+    if np.any(take < 0) or np.any(take > sizes):
+        bad = int(np.flatnonzero((take < 0) | (take > sizes))[0])
+        raise ValueError(
+            f"segment {bad}: cannot take {int(take[bad])} of "
+            f"{int(sizes[bad])} elements without replacement"
+        )
+    total_take = int(take.sum())
+    if total_take == 0:
+        return np.empty(0, dtype=pool.dtype)
+    if total_take == pool.size:
+        return pool
+
+    if np.all(take * 4 <= sizes):
+        # Rejection: candidate positions are global pool coordinates,
+        # so collisions (within a round or against earlier rounds) are
+        # plain duplicate values.
+        accepted = np.empty(0, dtype=np.int64)
+        pending_base = np.repeat(bounds[:-1], take)
+        pending_size = np.repeat(sizes, take)
+        while pending_base.size:
+            candidates = pending_base + rng.integers(
+                0, pending_size, dtype=np.int64
+            )
+            merged = np.concatenate([accepted, candidates])
+            order = np.argsort(merged, kind="stable")
+            sorted_values = merged[order]
+            duplicate_sorted = np.zeros(merged.size, dtype=bool)
+            duplicate_sorted[1:] = sorted_values[1:] == sorted_values[:-1]
+            duplicate = np.empty(merged.size, dtype=bool)
+            duplicate[order] = duplicate_sorted
+            # The stable sort keeps previously accepted values ahead of
+            # equal new candidates, so only the new ones re-enter.
+            redraw = duplicate[accepted.size:]
+            accepted = np.concatenate([accepted, candidates[~redraw]])
+            pending_base = pending_base[redraw]
+            pending_size = pending_size[redraw]
+        return pool[np.sort(accepted)]
+
+    # Top-k random keys, padded so the extraction is one axis-1
+    # partition; padding keys are +inf and can never be drawn because
+    # take[s] <= sizes[s].
+    n_segments = sizes.size
+    max_size = int(sizes.max())
+    k_max = int(take.max())
+    keys = rng.random((n_segments, max_size))
+    keys[np.arange(max_size)[None, :] >= sizes[:, None]] = np.inf
+    if k_max < max_size:
+        block = np.argpartition(keys, k_max - 1, axis=1)[:, :k_max]
+        # Order the block so row s's first take[s] entries are exactly
+        # its take[s] *smallest* keys -- a manifestly uniform subset
+        # (argpartition's internal order is not).
+        block_keys = np.take_along_axis(keys, block, axis=1)
+        block = np.take_along_axis(
+            block, np.argsort(block_keys, axis=1), axis=1
+        )
+    else:
+        block = np.argsort(keys, axis=1)
+    chosen = block[np.arange(block.shape[1])[None, :] < take[:, None]]
+    starts = np.repeat(bounds[:-1], take)
+    # Segments are disjoint ascending position ranges, so one global
+    # sort yields the documented segment-grouped, ascending-pool-order
+    # layout (matching the rejection branch).
+    return pool[np.sort(starts + chosen)]
+
+
 class BatchMetricsRecorder:
     """Per-period ensemble observations as ``(M, periods, states)`` tensors.
 
@@ -84,6 +201,7 @@ class BatchMetricsRecorder:
         states: Sequence[str],
         trials: int,
         track_transitions: bool = True,
+        member_log_state: Optional[str] = None,
         stride: int = 1,
     ):
         if trials < 1:
@@ -93,11 +211,18 @@ class BatchMetricsRecorder:
         self.states = tuple(states)
         self.trials = trials
         self.track_transitions = track_transitions
+        #: As for :class:`~repro.runtime.metrics.MetricsRecorder`: when
+        #: set to a state name, each recorded period stores the host ids
+        #: of that state's alive members, per trial (the Figure 8
+        #: stasher log, batched).  Expensive for big groups.
+        self.member_log_state = member_log_state
         self.stride = stride
         self.periods: List[int] = []
         self._counts: List[np.ndarray] = []      # each (M, S)
         self._alive: List[np.ndarray] = []       # each (M,)
         self._transitions: List[Dict[Edge, np.ndarray]] = []
+        #: Per recorded period: (period, [per-trial member id arrays]).
+        self.member_log: List[Tuple[int, List[np.ndarray]]] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -108,6 +233,7 @@ class BatchMetricsRecorder:
         counts: np.ndarray,
         alive: np.ndarray,
         transitions: Optional[Mapping[Edge, np.ndarray]] = None,
+        members: Optional[List[np.ndarray]] = None,
     ) -> None:
         """Store one period's ``(M, S)`` counts (subject to the stride)."""
         if period % self.stride != 0:
@@ -125,6 +251,15 @@ class BatchMetricsRecorder:
             self._transitions.append(
                 {e: np.array(v, dtype=np.int64, copy=True)
                  for e, v in (transitions or {}).items()}
+            )
+        if self.member_log_state is not None and members is not None:
+            if len(members) != self.trials:
+                raise ValueError(
+                    f"got member lists for {len(members)} trials, "
+                    f"expected {self.trials}"
+                )
+            self.member_log.append(
+                (period, [np.array(m, copy=True) for m in members])
             )
 
     # ------------------------------------------------------------------
@@ -169,6 +304,19 @@ class BatchMetricsRecorder:
         return np.stack(
             [t.get(edge, zero) for t in self._transitions], axis=1
         )
+
+    def trial_member_log(self, trial: int) -> List[Tuple[int, np.ndarray]]:
+        """One trial's member log, in :class:`MetricsRecorder` layout.
+
+        Feeds the Figure 8 fairness/untraceability statistics
+        (:func:`repro.analysis.fairness.analyze_member_log` accepts a
+        raw log list) for any single ensemble member.
+        """
+        if self.member_log_state is None:
+            raise RuntimeError("member logging is disabled")
+        if not 0 <= trial < self.trials:
+            raise IndexError(f"trial {trial} out of range [0, {self.trials})")
+        return [(period, members[trial]) for period, members in self.member_log]
 
     def edges_seen(self) -> List[Edge]:
         """Every edge that carried at least one transition in any trial."""
@@ -398,6 +546,14 @@ class BatchRoundEngine:
         # scanned lazily per period.  ``_referenced`` are the states
         # whose member lists actions can ask for.
         self._member_cap = max(4096, (trials * n) // 8)
+        # Scratch for the dense-state rejection sampler (see
+        # _sample_dense_actors): a "position already drawn" mask kept
+        # all-False between calls, and a last-writer slot array used to
+        # break intra-round collisions (never reset: it is always
+        # written before it is read).  Allocated lazily on first use so
+        # sparse-regime protocols never pay the 9 bytes per host.
+        self._taken: Optional[np.ndarray] = None
+        self._slot: Optional[np.ndarray] = None
         self._members: Dict[int, np.ndarray] = {}
         self._referenced = {a.actor for a in self._compiled}
         self._referenced.update(
@@ -626,30 +782,56 @@ class BatchRoundEngine:
         transitions: Dict[Edge, np.ndarray] = {}
         member_adds: Dict[int, List[np.ndarray]] = {}
         member_removes: Dict[int, List[np.ndarray]] = {}
+        segment_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         scan_cache: Dict[Tuple[int, int], np.ndarray] = {}
 
-        member_splits: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        def segments(sid: int) -> Tuple[np.ndarray, np.ndarray]:
+            """Period-start alive members of one state, grouped by trial.
 
-        def trial_members(trial: int, sid: int) -> np.ndarray:
-            """Period-start alive members of one trial, as global ids."""
-            tracked = self._members.get(sid)
-            if tracked is not None:
-                # One stable grouping pass per tracked state per period
-                # instead of re-filtering the whole array for every
-                # trial; the stable sort keeps within-trial order, so
-                # draw sequences are unchanged.
-                split = member_splits.get(sid)
-                if split is None:
+            Returns ``(grouped, bounds)``: global ids sorted by trial
+            (within-trial order preserved) and the ``(M + 1,)`` offsets
+            of each trial's slice -- the layout ``segmented_choice``
+            consumes.  One grouping pass per state per period serves
+            every action and token route this period.  Costs O(M * N)
+            for untracked (dense) states; the sparse code paths below
+            avoid calling it when expected activity is low.
+            """
+            got = segment_cache.get(sid)
+            if got is None:
+                tracked = self._members.get(sid)
+                if tracked is not None:
                     keys = tracked // n
                     order = np.argsort(keys, kind="stable")
-                    split = (
+                    got = (
                         tracked[order],
                         np.searchsorted(
                             keys[order], np.arange(m_trials + 1)
                         ),
                     )
-                    member_splits[sid] = split
-                grouped, bounds = split
+                else:
+                    mask = snapshot == sid
+                    if self._any_dead:
+                        mask &= alive_flat
+                    grouped = np.flatnonzero(mask)
+                    got = (
+                        grouped,
+                        np.searchsorted(
+                            grouped, np.arange(m_trials + 1) * n
+                        ),
+                    )
+                segment_cache[sid] = got
+            return got
+
+        def trial_members(trial: int, sid: int) -> np.ndarray:
+            """Period-start alive members of one trial, as global ids.
+
+            The sparse-regime lookup: tracked states slice the shared
+            grouping, untracked states scan only this trial's row, so a
+            period with one or two active trials never touches the full
+            ``(M, N)`` array.
+            """
+            if sid in self._members:
+                grouped, bounds = segments(sid)
                 return grouped[bounds[trial]:bounds[trial + 1]]
             key = (trial, sid)
             got = scan_cache.get(key)
@@ -662,22 +844,46 @@ class BatchRoundEngine:
                 scan_cache[key] = got
             return got
 
-        def all_members(sid: int) -> np.ndarray:
-            """Period-start alive members across all trials (global ids)."""
-            tracked = self._members.get(sid)
-            if tracked is not None:
-                return tracked
-            mask = snapshot == sid
-            if self._any_dead:
-                mask &= alive_flat
-            return np.flatnonzero(mask)
+        # A sub-1.0-probability action fires a Binomial(count, p) number
+        # of actors per trial, chosen uniformly without replacement.
+        # When the expected number of heads across the batch is large
+        # (the dense LV regime) that choice runs through
+        # ``segmented_choice`` -- one vectorized draw for all trials.
+        # When it is small (sparse regimes like the endemic protocol's
+        # alpha ~ 1e-6 coin) the per-trial fast path skips the O(M * N)
+        # member grouping entirely and only the few active trials pay
+        # for a scan.  The switch depends only on period-start counts
+        # and the action's probability, so replays are deterministic.
+        dense_threshold = max(4.0, m_trials / 4.0)
 
         for action in self._compiled:
             probability = action.probability
             if probability <= 0.0:
                 continue
             actor_counts = counts0[:, action.actor]
-            if probability < 1.0:
+            total_actors = int(actor_counts.sum())
+            if total_actors == 0:
+                continue
+            if probability >= 1.0:
+                actors = segments(action.actor)[0]
+            elif probability * total_actors >= dense_threshold:
+                heads = self._rng.binomial(actor_counts, probability)
+                if not heads.any():
+                    continue
+                if (total_actors * 8 >= m_trials * n
+                        and np.all(heads * 4 <= actor_counts)):
+                    # The state holds >= 1/8 of the batch: probing host
+                    # ids directly beats materializing the member list.
+                    actors = self._sample_dense_actors(
+                        action.actor, heads, actor_counts,
+                        snapshot, alive_flat,
+                    )
+                else:
+                    grouped, group_bounds = segments(action.actor)
+                    actors = segmented_choice(
+                        self._rng, grouped, group_bounds, heads
+                    )
+            else:
                 heads = self._rng.binomial(actor_counts, probability)
                 active = np.flatnonzero(heads)
                 if active.size == 0:
@@ -689,14 +895,9 @@ class BatchRoundEngine:
                     )
                     for trial in active
                 ])
-            else:
-                if not actor_counts.any():
-                    continue
-                actors = all_members(action.actor)
-                if actors.size == 0:
-                    continue
             movers, edge_from = self._execute_batch(
-                action, actors, snapshot, alive_flat, moved, trial_members
+                action, actors, snapshot, alive_flat, moved,
+                segments, trial_members,
             )
             if movers.size == 0:
                 continue
@@ -745,6 +946,7 @@ class BatchRoundEngine:
         snapshot: np.ndarray,
         alive_flat: np.ndarray,
         moved: np.ndarray,
+        segments: Callable[[int], Tuple[np.ndarray, np.ndarray]],
         trial_members: Callable[[int, int], np.ndarray],
     ) -> Tuple[np.ndarray, int]:
         """Run one action's sampling for the whole batch at once."""
@@ -768,7 +970,7 @@ class BatchRoundEngine:
             if action.kind == "sample":
                 return fired, action.edge_from
             return self._deliver_tokens_batch(
-                action, fired, moved, trial_members
+                action, fired, moved, segments, trial_members
             )
 
         if action.kind == "anyof":
@@ -795,31 +997,138 @@ class BatchRoundEngine:
         action,
         fired: np.ndarray,
         moved: np.ndarray,
+        segments: Callable[[int], Tuple[np.ndarray, np.ndarray]],
         trial_members: Callable[[int, int], np.ndarray],
     ) -> Tuple[np.ndarray, int]:
-        """Route fired tokens per trial (same semantics as RoundEngine)."""
+        """Route fired tokens per trial (same semantics as RoundEngine).
+
+        Token delivery needs *exact* per-trial draw counts (trial ``m``
+        delivers ``min(tokens[m], pool[m])`` tokens), so the dense path
+        runs through :func:`segmented_choice`.  When only a handful of
+        trials fired a token, the per-trial loop is kept instead: it
+        scans just those trials' rows, which is cheaper than grouping an
+        untracked token state across the whole batch.
+        """
+        empty = np.empty(0, dtype=np.int64)
         if fired.size == 0:
-            return np.empty(0, dtype=np.int64), action.edge_from
-        token_counts = np.bincount(fired // self.n, minlength=self.trials)
-        chunks: List[np.ndarray] = []
-        for trial in np.flatnonzero(token_counts):
-            pool = trial_members(int(trial), action.token_state)
-            pool = pool[~moved[pool]]
-            if pool.size == 0:
-                continue
-            tokens = int(token_counts[trial])
-            if action.ttl is not None:
-                alive_total = int(self._alive_counts[trial])
-                fraction = pool.size / alive_total if alive_total else 0.0
-                reach = 1.0 - (1.0 - fraction) ** action.ttl
-                tokens = int(self._rng.binomial(tokens, reach))
-                if tokens == 0:
+            return empty, action.edge_from
+        tokens = np.bincount(fired // self.n, minlength=self.trials)
+        active = np.flatnonzero(tokens)
+        if (action.token_state not in self._members
+                and active.size <= max(1, self.trials // 4)):
+            chunks: List[np.ndarray] = []
+            for trial in active:
+                pool = trial_members(int(trial), action.token_state)
+                pool = pool[~moved[pool]]
+                if pool.size == 0:
                     continue
-            take = min(tokens, pool.size)
-            chunks.append(self._rng.choice(pool, size=take, replace=False))
-        if not chunks:
-            return np.empty(0, dtype=np.int64), action.edge_from
-        return np.concatenate(chunks), action.edge_from
+                count = int(tokens[trial])
+                if action.ttl is not None:
+                    alive_total = int(self._alive_counts[trial])
+                    fraction = pool.size / alive_total if alive_total else 0.0
+                    reach = 1.0 - (1.0 - fraction) ** action.ttl
+                    count = int(self._rng.binomial(count, reach))
+                    if count == 0:
+                        continue
+                take = min(count, pool.size)
+                chunks.append(
+                    self._rng.choice(pool, size=take, replace=False)
+                )
+            if not chunks:
+                return empty, action.edge_from
+            return np.concatenate(chunks), action.edge_from
+
+        grouped, _ = segments(action.token_state)
+        pool = grouped[~moved[grouped]]
+        if pool.size == 0:
+            return empty, action.edge_from
+        # Filtering preserves within-trial grouping, so the filtered
+        # pool's segment bounds are one bincount + cumsum away.
+        sizes = np.bincount(pool // self.n, minlength=self.trials)
+        if action.ttl is not None:
+            fractions = np.divide(
+                sizes, self._alive_counts,
+                out=np.zeros(self.trials), where=self._alive_counts > 0,
+            )
+            reach = 1.0 - (1.0 - fractions) ** action.ttl
+            tokens = self._rng.binomial(tokens, reach)
+        take = np.minimum(tokens, sizes)
+        if not take.any():
+            return empty, action.edge_from
+        bounds = np.concatenate([[0], np.cumsum(sizes)])
+        return segmented_choice(self._rng, pool, bounds, take), action.edge_from
+
+    def _sample_dense_actors(
+        self,
+        sid: int,
+        heads: np.ndarray,
+        actor_counts: np.ndarray,
+        snapshot: np.ndarray,
+        alive_flat: np.ndarray,
+    ) -> np.ndarray:
+        """Draw ``heads[m]`` distinct members of ``sid`` per trial.
+
+        Dense-state rejection sampling: each trial probes uniform host
+        ids in its own row and keeps those that are in the state (alive,
+        not yet drawn), oversampling by the inverse acceptance estimate
+        so nearly every deficit resolves in the first round; leftovers
+        redraw.  Callers gate on density >= 1/8 and take <= 1/4 of the
+        state, so acceptance is bounded below and the number of random
+        draws stays proportional to ``heads.sum()`` -- not to M * N and
+        not to the state's population, which is what makes a 3% coin on
+        a 60%-dense state cheap.  Keeping the first ``heads[m]`` valid
+        probes in draw order is sequential uniform sampling without
+        replacement, i.e. the ``segmented_choice`` distribution on the
+        same member lists.
+        """
+        n = self.n
+        if self._taken is None:
+            self._taken = np.zeros(self.trials * n, dtype=bool)
+            self._slot = np.zeros(self.trials * n, dtype=np.int64)
+        taken, slot = self._taken, self._slot
+        # Acceptance is at least (members - take) / n per probe;
+        # oversample by its inverse (x1.5, +8) so round one almost
+        # always finishes the trial.
+        inverse_acceptance = n / np.maximum(actor_counts - heads, 1)
+        need = heads.astype(np.int64).copy()
+        chunks: List[np.ndarray] = []
+        while True:
+            active = np.flatnonzero(need)
+            if active.size == 0:
+                break
+            draws = (
+                (need[active] * inverse_acceptance[active] * 1.5)
+                .astype(np.int64) + 8
+            )
+            candidates = np.repeat(active * n, draws) + self._rng.integers(
+                0, n, int(draws.sum()), dtype=np.int64
+            )
+            ok = snapshot[candidates] == sid
+            if self._any_dead:
+                ok &= alive_flat[candidates]
+            ok &= ~taken[candidates]
+            index = np.flatnonzero(ok)
+            good = candidates[index]
+            # Duplicate probes of one position within this round: the
+            # last writer wins, the rest are dropped (they are surplus
+            # -- the deficit recount below redraws if needed).
+            slot[good] = index
+            winners = good[slot[good] == index]
+            # Winners are in draw order and therefore trial-grouped;
+            # keep each trial's first need[m] of them.
+            winner_trials = winners // n
+            winner_counts = np.bincount(winner_trials, minlength=self.trials)
+            starts = np.concatenate(
+                [[0], np.cumsum(winner_counts)[:-1]]
+            )
+            rank = np.arange(winners.size) - starts[winner_trials]
+            kept = winners[rank < need[winner_trials]]
+            taken[kept] = True
+            chunks.append(kept)
+            need -= np.bincount(kept // n, minlength=self.trials)
+        actors = np.sort(np.concatenate(chunks))
+        taken[actors] = False
+        return actors
 
     def _sample_other_flat(self, actors: np.ndarray, k: int) -> np.ndarray:
         """Uniform non-self targets for actors from any trial.
@@ -858,6 +1167,7 @@ class BatchRoundEngine:
         recorder: Optional[BatchMetricsRecorder] = None,
         hook_factories: Iterable[HookFactory] = (),
         record_initial: bool = True,
+        stop: Optional[Callable[["BatchRoundEngine"], bool]] = None,
     ) -> BatchRunResult:
         """Run ``periods`` rounds of every trial.
 
@@ -865,6 +1175,12 @@ class BatchRoundEngine:
         return fresh hook instances (stock hooks are stateful); each
         trial's hooks fire against its own view before every period,
         exactly as in :meth:`RoundEngine.run`.
+
+        ``stop`` is an optional early-exit predicate, called with the
+        engine after each period is stepped and recorded; returning
+        True ends the run.  This is how ensemble drivers interleave
+        per-period measurements (e.g. :class:`LVEnsemble` convergence
+        detection) without re-implementing the loop.
         """
         if recorder is None:
             recorder = BatchMetricsRecorder(self.state_names, self.trials)
@@ -882,14 +1198,23 @@ class BatchRoundEngine:
                     hook(view)
             self.step()
             self._record(recorder)
+            if stop is not None and stop(self):
+                break
         return BatchRunResult(engine=self, recorder=recorder)
 
     def _record(self, recorder: BatchMetricsRecorder) -> None:
+        members = None
+        if (recorder.member_log_state is not None
+                and self.period % recorder.stride == 0):
+            sid = self.state_id(recorder.member_log_state)
+            mask = (self.states == sid) & self.alive
+            members = [np.flatnonzero(mask[m]) for m in range(self.trials)]
         recorder.record(
             self.period,
             self.counts_matrix(),
             self.alive_counts(),
             transitions=self.last_transitions,
+            members=members,
         )
 
     # ------------------------------------------------------------------

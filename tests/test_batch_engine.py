@@ -31,7 +31,9 @@ from repro.runtime import (
     serial_ensemble,
     spawn_seeds,
 )
+from repro.runtime.batch_engine import segmented_choice
 from repro.runtime.failures import CrashRecoveryNoise, MassiveFailure
+from repro.runtime.rng import make_generator
 from repro.synthesis import FlipAction, ProtocolSpec, TokenizeAction, synthesize
 
 
@@ -179,6 +181,118 @@ class TestLockstepExactness:
                 for r in recorders
             ])
             assert np.array_equal(recorder.transition_tensor(edge), expected)
+
+
+# ----------------------------------------------------------------------
+# The segmented without-replacement sampler
+# ----------------------------------------------------------------------
+class TestSegmentedChoice:
+    """Both strategies (rejection for take <= size/4, top-k keys above)
+    must produce valid, uniform without-replacement segment samples."""
+
+    def draw(self, sizes, take, seed=0):
+        bounds = np.concatenate([[0], np.cumsum(sizes)])
+        pool = np.arange(bounds[-1]) * 10  # distinct recognizable values
+        rng = make_generator(seed)
+        return pool, bounds, segmented_choice(
+            rng, pool, bounds, np.asarray(take)
+        )
+
+    @pytest.mark.parametrize(
+        "sizes,take",
+        [
+            ([40, 40, 40], [2, 0, 5]),     # rejection strategy
+            ([40, 40, 40], [30, 40, 0]),   # top-k strategy
+            ([7, 1, 0, 12], [1, 1, 0, 3]),
+        ],
+    )
+    def test_counts_containment_uniqueness(self, sizes, take):
+        for seed in range(20):
+            pool, bounds, got = self.draw(sizes, take, seed=seed)
+            assert got.size == sum(take)
+            offset = 0
+            for s, (size, k) in enumerate(zip(sizes, take)):
+                segment = got[offset:offset + k]
+                offset += k
+                # Within the right segment, all distinct.
+                assert len(set(segment.tolist())) == k
+                valid = set(pool[bounds[s]:bounds[s + 1]].tolist())
+                assert set(segment.tolist()) <= valid
+
+    def test_take_everything_returns_pool(self):
+        pool, bounds, got = self.draw([5, 3], [5, 3])
+        assert np.array_equal(np.sort(got), pool)
+
+    def test_rejects_overdraw_and_shape_mismatch(self):
+        rng = make_generator(0)
+        pool = np.arange(10)
+        bounds = np.array([0, 6, 10])
+        with pytest.raises(ValueError):
+            segmented_choice(rng, pool, bounds, np.array([7, 0]))
+        with pytest.raises(ValueError):
+            segmented_choice(rng, pool, bounds, np.array([1, 1, 1]))
+
+    @pytest.mark.parametrize(
+        "sizes,take",
+        [
+            ([24, 16], [2, 1]),    # rejection strategy
+            ([24, 16], [12, 10]),  # top-k strategy
+        ],
+    )
+    def test_inclusion_marginals_uniform(self, sizes, take):
+        # Element e of segment s is included with probability
+        # take[s] / sizes[s]; check every element's inclusion count
+        # over repeated draws as one Bonferroni family.
+        rounds = 3000
+        bounds = np.concatenate([[0], np.cumsum(sizes)])
+        pool = np.arange(bounds[-1])
+        rng = make_generator(123)
+        counts = np.zeros(pool.size, dtype=np.int64)
+        for _ in range(rounds):
+            got = segmented_choice(rng, pool, bounds, np.asarray(take))
+            counts[got] += 1
+        expected = np.concatenate([
+            np.full(size, k / size) for size, k in zip(sizes, take)
+        ])
+        statutil.assert_binomial_cells(
+            counts, rounds, expected,
+            context=f"segmented_choice inclusion (take={take})",
+        )
+
+
+class TestDenseActorSampling:
+    def test_dense_transitions_match_binomial(self):
+        # One dense sub-1.0-probability action: movers per trial are
+        # Binomial(count, p) and the dense rejection sampler must not
+        # bias them.
+        spec = ProtocolSpec(
+            name="dense-flip", states=("a", "b"),
+            actions=(FlipAction("a", 0.12, "b"),),
+        )
+        trials, n = 24, 2000
+        batch = BatchRoundEngine(
+            spec, n=n, trials=trials, initial={"a": n}, seed=77
+        )
+        transitions = batch.step()
+        statutil.assert_binomial_cells(
+            transitions[("a", "b")], n, np.full(trials, 0.12),
+            context="dense flip movers",
+        )
+        batch._validate_consistency()
+
+    def test_dense_lv_consistency_through_run(self):
+        # The LV regime: every action is sub-1.0-probability on a dense
+        # state; counts/members must stay consistent under the dense
+        # rejection sampler over a long run.
+        spec = synthesize(library.lv(), p=0.02)
+        batch = BatchRoundEngine(
+            spec, n=2000, trials=12,
+            initial={"x": 1200, "y": 800, "z": 0}, seed=9,
+        )
+        for _ in range(30):
+            batch.step()
+        batch._validate_consistency()
+        assert np.all(batch.counts_matrix().sum(axis=1) == 2000)
 
 
 # ----------------------------------------------------------------------
@@ -454,6 +568,55 @@ class TestBatchMetricsRecorder:
         assert recorder.count_tensor().shape == (4, 0, 2)
         assert recorder.counts("a").shape == (4, 0)
         assert recorder.alive_tensor().shape == (4, 0)
+
+    def test_member_log_per_trial(self):
+        # The engine logs each trial's members of the chosen state; the
+        # per-trial view must line up with the engine's own member sets
+        # (Figure 8's batched stasher log).
+        spec = pull_protocol()
+        batch = BatchRoundEngine(
+            spec, n=100, trials=3, initial={"x": 90, "y": 10}, seed=13
+        )
+        recorder = BatchMetricsRecorder(
+            spec.states, 3, member_log_state="y"
+        )
+        batch.run(5, recorder=recorder)
+        assert len(recorder.member_log) == 6  # initial + 5 periods
+        for m in range(3):
+            log = recorder.trial_member_log(m)
+            assert [p for p, _ in log] == list(range(6))
+            final = log[-1][1]
+            view = batch.trial_views()[m]
+            assert np.array_equal(final, view.members_in("y"))
+            assert final.size == view.counts()["y"]
+
+    def test_member_log_disabled_raises(self):
+        recorder = BatchMetricsRecorder(("a",), trials=2)
+        with pytest.raises(RuntimeError):
+            recorder.trial_member_log(0)
+
+    def test_member_log_feeds_fairness_analysis(self):
+        from repro.analysis.fairness import analyze_member_log
+
+        spec = figure1_protocol(EndemicParams(alpha=0.01, gamma=0.1, b=2))
+        n = 500
+        batch = BatchRoundEngine(
+            spec, n=n, trials=2,
+            initial=EndemicParams(
+                alpha=0.01, gamma=0.1, b=2
+            ).equilibrium_counts(n),
+            seed=17,
+        )
+        recorder = BatchMetricsRecorder(
+            spec.states, 2, member_log_state="y"
+        )
+        batch.run(60, recorder=recorder)
+        for m in range(2):
+            result = analyze_member_log(
+                recorder.trial_member_log(m), n, gamma=0.1
+            )
+            assert 0 < result.hosts_ever_responsible <= n
+            assert result.periods_observed == 61
 
 
 class TestBatchRunResult:

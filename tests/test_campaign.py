@@ -177,6 +177,107 @@ class TestFanOut:
             run_campaign(tiny_spec(), workers=0)
 
 
+class TestTrialSharding:
+    def test_sharded_point_replays_bit_for_bit(self):
+        spec = tiny_spec(trials=6, shards=3)
+        point = spec.expand()[0]
+        assert point.shards == 3
+        result = run_point(point)
+        assert len(result.trial_seeds) == 6
+        assert verify_replay(result)
+        assert np.array_equal(replay_point(point), replay_point(point))
+
+    def test_shard_seeds_are_disjoint_deterministic(self):
+        point = tiny_spec(trials=8, shards=4).expand()[0]
+        first = run_point(point)
+        second = run_point(point)
+        assert first.trial_seeds == second.trial_seeds
+        assert len(set(first.trial_seeds)) == 8
+        # Sharding changes the seed family on purpose (each shard is an
+        # independently seeded sub-ensemble).
+        unsharded = run_point(
+            tiny_spec(trials=8).expand()[0]
+        )
+        assert unsharded.trial_seeds != first.trial_seeds
+
+    def test_sharded_fan_out_matches_serial(self):
+        spec = tiny_spec(trials=6, shards=3, scenarios=["massive-failure"])
+        serial = run_campaign(spec, workers=1)
+        pooled = run_campaign(spec, workers=3)
+        for a, b in zip(serial.results, pooled.results):
+            assert a.trial_seeds == b.trial_seeds
+            assert a.final_counts == b.final_counts
+            assert a.mean_trajectory == b.mean_trajectory
+            assert a.mean_alive == b.mean_alive
+
+    def test_summary_consistent_under_sharding(self):
+        point = tiny_spec(trials=5, shards=2).expand()[0]
+        result = run_point(point)
+        for state in result.states:
+            finals = np.asarray(result.final_counts[state])
+            assert finals.shape == (5,)
+            assert result.summary[state]["mean"] == pytest.approx(
+                float(finals.mean())
+            )
+        assert len(result.mean_trajectory["x"]) == len(result.recorded_periods)
+
+    def test_more_shards_than_trials_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_spec(trials=2, shards=3).expand()
+
+    def test_json_round_trip_preserves_shards(self):
+        spec = tiny_spec(trials=4, shards=2)
+        result = run_campaign(spec)
+        restored = CampaignResult.from_json(result.to_json())
+        assert restored.results[0].point.shards == 2
+        assert verify_replay(restored.results[0])
+
+
+class TestSaveTensors:
+    def test_tensor_artifact_matches_replay(self, tmp_path):
+        spec = tiny_spec(group_sizes=[200, 300])
+        result = run_campaign(spec, save_tensors=str(tmp_path))
+        for index, point_result in enumerate(result.results):
+            assert point_result.tensor_path is not None
+            path = tmp_path / point_result.tensor_path
+            assert path.is_file()
+            with np.load(path) as data:
+                assert np.array_equal(
+                    data["counts"], replay_point(point_result.point)
+                )
+                assert data["counts"].shape == (
+                    spec.trials, spec.periods + 1, 2
+                )
+                assert list(data["states"]) == point_result.states
+                assert [int(s) for s in data["trial_seeds"]] \
+                    == point_result.trial_seeds
+                assert json.loads(str(data["point_json"])) \
+                    == point_result.point.to_dict()
+
+    def test_tensor_path_survives_json_round_trip(self, tmp_path):
+        result = run_campaign(tiny_spec(), save_tensors=str(tmp_path))
+        restored = CampaignResult.from_json(result.to_json())
+        assert restored.results[0].tensor_path \
+            == result.results[0].tensor_path
+
+    def test_sharded_tensor_rows_follow_trial_seeds(self, tmp_path):
+        spec = tiny_spec(trials=4, shards=2)
+        result = run_campaign(spec, save_tensors=str(tmp_path), workers=2)
+        point_result = result.results[0]
+        with np.load(tmp_path / point_result.tensor_path) as data:
+            counts = data["counts"]
+        assert counts.shape[0] == 4
+        assert np.array_equal(counts, replay_point(point_result.point))
+        for state in point_result.states:
+            index = point_result.states.index(state)
+            assert counts[:, -1, index].tolist() \
+                == point_result.final_counts[state]
+
+    def test_no_tensors_without_flag(self):
+        result = run_campaign(tiny_spec())
+        assert result.results[0].tensor_path is None
+
+
 def _stock_pull_builder(n):
     # Module-level so it pickles by reference and can ride over a
     # process boundary to pool workers (spawn start method).
@@ -327,6 +428,41 @@ class TestCampaignCli:
             "campaign", "--config", str(config), "--dry-run",
         ]) == 0
         assert "1 points" in capsys.readouterr().out
+
+    def test_shards_and_save_tensors(self, tmp_path, capsys):
+        out_file = tmp_path / "results.json"
+        tensors = tmp_path / "tensors"
+        assert cli_main([
+            "campaign", "--protocol", "lv", "--n", "200",
+            "--trials", "4", "--periods", "10", "--seed", "5",
+            "--shards", "2", "--save-tensors", str(tensors),
+            "--out", str(out_file),
+        ]) == 0
+        assert "wrote 1 count tensors" in capsys.readouterr().out
+        stored = CampaignResult.from_json(out_file.read_text())
+        point_result = stored.results[0]
+        assert point_result.point.shards == 2
+        with np.load(tensors / point_result.tensor_path) as data:
+            assert data["counts"].shape == (4, 11, 3)
+        # The sharded run (and its tensor provenance) replays cleanly.
+        assert cli_main(["campaign", "--replay", str(out_file)]) == 0
+
+    def test_replay_rejects_save_tensors(self, tmp_path, capsys):
+        out_file = tmp_path / "results.json"
+        out_file.write_text(
+            CampaignResult(spec=tiny_spec(), results=[]).to_json()
+        )
+        assert cli_main([
+            "campaign", "--replay", str(out_file),
+            "--save-tensors", str(tmp_path / "t"),
+        ]) == 1
+        assert "--save-tensors" in capsys.readouterr().err
+
+    def test_lv_close_protocol_registered(self, capsys):
+        assert cli_main([
+            "campaign", "--dry-run", "--protocol", "lv-close", "--n", "100",
+        ]) == 0
+        assert "lv-close" in capsys.readouterr().out
 
     def test_invalid_grid_fails_cleanly(self, capsys):
         assert cli_main([

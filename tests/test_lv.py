@@ -1,15 +1,18 @@
 """Tests for the LV majority protocol (repro.protocols.lv)."""
 
+import numpy as np
 import pytest
 
 from repro.protocols.lv import (
     ONE,
     UNDECIDED,
     ZERO,
+    LVEnsemble,
     LVMajority,
     expected_convergence_periods,
     lv_protocol,
     majority_accuracy,
+    majority_accuracy_serial,
 )
 from repro.runtime import MassiveFailure
 
@@ -98,6 +101,85 @@ class TestAccuracy:
             400, zeros=204, trials=6, max_periods=4000, seed=10
         )
         assert close <= lopsided
+
+
+class TestEnsemble:
+    def test_lockstep_reproduces_serial_lvmajority_exactly(self):
+        # The correctness anchor for the batched LV port: in lockstep
+        # mode trial m must be bit-identical to a serial LVMajority run
+        # seeded with trial_seeds[m] -- same winner, same convergence
+        # period.  (Converged trials keep stepping while stragglers
+        # finish, which is safe because unanimity is absorbing.)
+        ensemble = LVEnsemble(
+            500, zeros=330, ones=170, trials=5, seed=42, mode="lockstep"
+        )
+        outcome = ensemble.run(2000)
+        assert outcome.converged.all(), "horizon too short for the test"
+        for m, trial_seed in enumerate(ensemble.trial_seeds):
+            serial = LVMajority(
+                500, zeros=330, ones=170, seed=trial_seed
+            ).run(2000)
+            assert outcome.winners[m] == serial.winner, m
+            assert outcome.convergence_periods[m] == serial.convergence_period, m
+
+    def test_batch_accuracy_matches_serial_loop(self):
+        # Distributional equivalence of the two implementations on a
+        # lopsided split where both must be exact.
+        batched = majority_accuracy(600, zeros=450, trials=6, max_periods=3000)
+        serial = majority_accuracy_serial(
+            600, zeros=450, trials=6, max_periods=3000
+        )
+        assert batched == serial == 1.0
+
+    def test_decision_tensors(self):
+        outcome = LVEnsemble(
+            400, zeros=280, ones=120, trials=8, seed=3
+        ).run(2500)
+        assert outcome.winners.shape == (8,)
+        assert outcome.convergence_periods.shape == (8,)
+        assert outcome.converged.all()
+        assert (outcome.convergence_periods > 0).all()
+        assert outcome.decided.all()
+        assert outcome.accuracy() == 1.0
+        # The recorder holds the full (M, periods, S) ensemble tensor.
+        tensor = outcome.recorder.count_tensor()
+        assert tensor.shape[0] == 8
+        assert tensor.shape[2] == 3
+        assert np.all(tensor.sum(axis=2) == 400)
+
+    def test_tie_split_is_undecidable(self):
+        outcome = LVEnsemble(200, zeros=100, ones=100, trials=4, seed=7).run(5)
+        assert not outcome.decided.any()
+        assert outcome.accuracy() != outcome.accuracy()  # NaN
+
+    def test_unconverged_within_budget(self):
+        outcome = LVEnsemble(
+            2000, zeros=1001, ones=999, trials=3, seed=5
+        ).run(3)
+        assert not outcome.converged.any()
+        assert (outcome.convergence_periods == -1).all()
+
+    def test_hooks_run_per_trial(self):
+        outcome = LVEnsemble(
+            2000, zeros=1200, ones=800, trials=4, seed=11
+        ).run(
+            3000,
+            hook_factories=[
+                lambda m: MassiveFailure(at_period=20, fraction=0.5)
+            ],
+        )
+        assert outcome.converged.all()
+        assert outcome.accuracy() == 1.0
+
+    def test_rejects_bad_split(self):
+        with pytest.raises(ValueError):
+            LVEnsemble(100, zeros=60, ones=60, trials=2)
+
+    def test_stop_when_all_converged_stops_early(self):
+        ensemble = LVEnsemble(400, zeros=300, ones=100, trials=4, seed=1)
+        outcome = ensemble.run(100_000)
+        assert ensemble.engine.period < 100_000
+        assert outcome.converged.all()
 
 
 class TestTheory:

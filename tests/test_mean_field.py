@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.analysis.mean_field import compare_trajectory, measure_equilibrium
+from repro.analysis.mean_field import (
+    compare_trajectory,
+    measure_equilibrium,
+    measure_equilibrium_batch,
+)
 from repro.odes import library
 from repro.protocols.endemic import figure1_protocol
 from repro.synthesis import synthesize
@@ -38,6 +42,33 @@ class TestEquilibriumMeasurement:
             warmup_periods=10, window_periods=10, seed=2,
         )
         assert np.isnan(measurements["x"].relative_error)
+
+    def test_batched_cell_pools_the_ensemble(self, fig8_params):
+        # The batched Figure 7 measurement summarizes M trials' windows
+        # at once; with the ensemble behind it the median error can only
+        # tighten, and the [min, max] band must still bracket the
+        # analysis.
+        n, trials = 4000, 4
+        spec = figure1_protocol(fig8_params)
+        measurements = measure_equilibrium_batch(
+            spec, n, fig8_params.equilibrium_counts(n),
+            trials=trials, warmup_periods=200, window_periods=400, seed=0,
+        )
+        stash = measurements["y"]
+        assert stash.trials == trials
+        assert stash.relative_error < 0.15
+        assert stash.stats.minimum <= stash.analytic <= stash.stats.maximum
+
+    def test_batched_supports_lockstep_mode(self, fig8_params):
+        n = 1500
+        spec = figure1_protocol(fig8_params)
+        batched = measure_equilibrium_batch(
+            spec, n, fig8_params.equilibrium_counts(n),
+            trials=2, warmup_periods=100, window_periods=150, seed=5,
+            mode="lockstep",
+        )
+        stash = batched["y"]
+        assert stash.stats.minimum <= stash.analytic <= stash.stats.maximum
 
 
 class TestTrajectoryComparison:
