@@ -1,4 +1,4 @@
-"""FIG11: LV protocol convergence from a 60/40 split (batched).
+"""FIG11: LV protocol convergence from a 60/40 split (LVEnsemble).
 
 Paper: Figure 11 -- 100,000 processes, 60,000 proposing x and 40,000
 proposing y, p = 0.01.  The group converges to everyone in the initial
@@ -6,8 +6,12 @@ majority state x in under 500 periods (the paper reads convergence off
 the plotted curves; complete 100% agreement lands slightly later, and
 we report both).
 
-Runs a 4-trial batched ensemble: the winner/accuracy claim is asserted
-in every trial, timing claims on the ensemble-mean minority curve.
+Runs as an :class:`~repro.protocols.lv.LVEnsemble` so the convergence
+claims come from *per-trial decision tensors* (winners and
+full-agreement periods per ensemble member) instead of ensemble means
+alone: the "< 500 periods" convergence band is the real spread across
+trials, each trial's visual-convergence period measured on its own
+minority curve.
 """
 
 import numpy as np
@@ -16,46 +20,50 @@ import pytest
 from bench_util import format_table, report, scaled
 
 from repro.analysis.convergence import decay_rate_estimate
-from repro.protocols.lv import expected_convergence_periods, lv_protocol
-from repro.runtime import BatchMetricsRecorder, BatchRoundEngine
+from repro.protocols.lv import LVEnsemble, expected_convergence_periods
 from repro.viz.ascii_plot import render_series
 
-TRIALS = 4
+TRIALS = 6
 
 
 def run_experiment():
     n = scaled(100_000, minimum=5_000)
-    spec = lv_protocol(p=0.01)
     zeros = int(0.6 * n)
-    engine = BatchRoundEngine(
-        spec, n=n, trials=TRIALS,
-        initial={"x": zeros, "y": n - zeros, "z": 0}, seed=110,
+    ensemble = LVEnsemble(
+        n, zeros, n - zeros, trials=TRIALS, p=0.01, seed=110
     )
-    recorder = BatchMetricsRecorder(spec.states, TRIALS)
-    engine.run(scaled(2_000, minimum=1_000), recorder=recorder)
-    return n, engine, recorder
+    # The decay-rate fit needs the full horizon, so converged trials
+    # keep stepping (convergence is absorbing) instead of stopping the
+    # ensemble at the last straggler's agreement period.
+    outcome = ensemble.run(
+        scaled(2_000, minimum=1_000), stop_when_all_converged=False
+    )
+    return n, ensemble, outcome
 
 
 def test_fig11_lv_convergence(run_once):
-    n, engine, recorder = run_once(run_experiment)
+    n, ensemble, outcome = run_once(run_experiment)
+    recorder = outcome.recorder
     times = recorder.times
 
     minority_trials = recorder.counts("y").astype(float)  # (M, periods)
     minority = minority_trials.mean(axis=0)
-    majority_trials = recorder.counts("x")
-    alive = recorder.alive_tensor()
 
-    # Winner per trial: the period when every alive process agrees.
-    full_agreement = majority_trials == alive
-    agreement_periods = [
-        int(times[np.nonzero(full_agreement[m])[0][0]])
-        if full_agreement[m].any() else None
+    # Per-trial decision tensors: winner and full-agreement period.
+    agreement_periods = outcome.convergence_periods  # (M,)
+
+    # Per-trial "visual" convergence as in the paper's plot: the
+    # trial's own minority below 1% of N.  The ensemble spread of these
+    # is the convergence band.
+    visual_trials = np.array([
+        int(times[np.nonzero(minority_trials[m] <= 0.01 * n)[0][0]])
         for m in range(TRIALS)
-    ]
-
-    # "Visual" convergence as in the paper's plot: ensemble-mean
-    # minority below 1% of N.
-    visual = int(times[np.nonzero(minority <= 0.01 * n)[0][0]])
+    ])
+    visual_band = (
+        int(visual_trials.min()),
+        float(np.median(visual_trials)),
+        int(visual_trials.max()),
+    )
     theory = expected_convergence_periods(n, u0=0.4)
 
     # Measured minority decay rate vs the theoretical 3p per period.
@@ -65,7 +73,7 @@ def test_fig11_lv_convergence(run_once):
     mask = (minority < 0.10 * n) & (minority > max(20.0, 1e-4 * n))
     rate = decay_rate_estimate(times[mask], minority[mask])
 
-    horizon = times <= min(times[-1], 2 * visual)
+    horizon = times <= min(int(times[-1]), 2 * visual_band[2])
     plot = render_series(
         times[horizon],
         {
@@ -78,16 +86,20 @@ def test_fig11_lv_convergence(run_once):
               f"mean of {TRIALS} trials)",
     )
     report("fig11_lv_convergence", "\n".join([
-        f"N={n}, trials={TRIALS}, p=0.01, start: 60% x / 40% y",
+        f"N={n}, trials={TRIALS}, p=0.01, start: 60% x / 40% y "
+        f"(LVEnsemble decision tensors)",
         format_table(
             ["measure", "paper", "measured"],
             [
                 ("winner", "x (initial majority)",
-                 f"x in {TRIALS}/{TRIALS} trials"),
-                ("convergence (mean minority < 1%)", "< 500 periods",
-                 f"{visual} periods"),
+                 f"x in {int((outcome.winners == 'x').sum())}/{TRIALS} "
+                 f"trials"),
+                ("visual convergence band (minority < 1%)",
+                 "< 500 periods",
+                 f"min {visual_band[0]} / median {visual_band[1]:g} / "
+                 f"max {visual_band[2]} periods"),
                 ("full 100% agreement per trial", "-",
-                 ", ".join(str(p) for p in agreement_periods)),
+                 ", ".join(str(int(p)) for p in agreement_periods)),
                 ("theory ln(u0 N)/(3p)", f"{theory:.0f} periods", "-"),
                 ("minority decay rate/period", "3p = 0.030",
                  f"{rate:.4f}"),
@@ -97,14 +109,14 @@ def test_fig11_lv_convergence(run_once):
         plot,
     ]))
 
-    # Every trial converges to the initial majority: x holds the whole
-    # alive population and the minority camp is extinct.
-    final = recorder.last_counts()
-    x_index = recorder.states.index("x")
-    y_index = recorder.states.index("y")
-    assert np.all(final[:, x_index] == alive[:, -1])
-    assert np.all(final[:, y_index] == 0)
-    # Paper: convergence in < 500 rounds (visual criterion).
-    assert visual < 500
+    # Every trial converges to the initial majority: the per-trial
+    # decision tensor reports winner x and a finite agreement period,
+    # and the minority camp is extinct everywhere.
+    assert np.all(outcome.winners == "x")
+    assert np.all(agreement_periods >= 0)
+    assert np.all(minority_trials[:, -1] == 0)
+    # Paper: convergence in < 500 rounds -- asserted on the *worst*
+    # trial of the band, not the ensemble mean.
+    assert visual_band[2] < 500
     # The decay rate matches the linearized prediction 3p.
     assert rate == pytest.approx(0.03, rel=0.35)

@@ -6,11 +6,14 @@ Figures 9 and 10 likewise share one churn experiment.  The runs are
 executed once and memoized here so each bench reports on identical
 data, exactly as in the paper.
 
-Both experiments now run as **batched ensembles** on
-:class:`~repro.runtime.batch_engine.BatchRoundEngine`: the paper's
-figures show one representative run, but its claims ("restabilizes",
-"counts remain stable") are ensemble statements, so the benches assert
-on ensemble means and report the per-trial spread.  Each trial gets its
+Both experiments run through the :mod:`repro.experiment` facade: a
+:class:`~repro.experiment.Protocol` handle wraps the hand-built
+Figure 1 spec, a :class:`~repro.experiment.Scenario` carries the
+per-trial fault hooks, and :class:`~repro.experiment.Experiment`
+executes the ensemble on the batch engine.  The paper's figures show
+one representative run, but its claims ("restabilizes", "counts
+remain stable") are ensemble statements, so the benches assert on
+ensemble means and report the per-trial spread.  Each trial gets its
 own fault stream (and, for churn, its own synthetic trace).
 """
 
@@ -20,14 +23,9 @@ from functools import lru_cache
 
 from bench_util import scaled
 
+from repro.experiment import Experiment, Protocol, Scenario
 from repro.protocols.endemic import EndemicParams, figure1_protocol
-from repro.runtime import (
-    BatchMetricsRecorder,
-    BatchRoundEngine,
-    ChurnReplayer,
-    MassiveFailure,
-    generate_trace,
-)
+from repro.runtime import ChurnReplayer, MassiveFailure, generate_trace
 
 #: Ensemble width of the shared figure runs.  Small enough that the
 #: full-scale figure-5 run stays laptop-sized, large enough for stable
@@ -38,7 +36,7 @@ CHURN_TRIALS = 6
 
 @lru_cache(maxsize=1)
 def figure5_run():
-    """The Figure 5/6 experiment, as a batched ensemble.
+    """The Figure 5/6 experiment, through the facade.
 
     Per trial: N = 100,000, b = 2, alpha = 1e-6, gamma = 1e-3; the
     system starts at equilibrium, runs to t = 5000, loses a random 50%
@@ -49,23 +47,20 @@ def figure5_run():
     spec = figure1_protocol(params)
     fail_at = scaled(5_000, minimum=250)
     total = 2 * fail_at
-    engine = BatchRoundEngine(
-        spec, n=n, trials=FIG5_TRIALS,
-        initial=params.equilibrium_counts(n), seed=55,
-    )
-    recorder = BatchMetricsRecorder(spec.states, FIG5_TRIALS)
-    engine.run(
-        total, recorder=recorder,
-        hook_factories=[
-            lambda m: MassiveFailure(at_period=fail_at, fraction=0.5)
-        ],
-    )
+    result = Experiment(
+        Protocol.from_spec(spec, params.equilibrium_counts(n)),
+        n=n, trials=FIG5_TRIALS, periods=total, seed=55, engine="batch",
+        scenario=Scenario.from_trial_hooks(
+            lambda m: MassiveFailure(at_period=fail_at, fraction=0.5),
+            label="fig5-massive-failure",
+        ),
+    ).run()
     return {
         "n": n,
         "trials": FIG5_TRIALS,
         "params": params,
-        "engine": engine,
-        "recorder": recorder,
+        "result": result,
+        "recorder": result.recorder,
         "fail_at": fail_at,
         "total": total,
     }
@@ -73,7 +68,7 @@ def figure5_run():
 
 @lru_cache(maxsize=1)
 def churn_run():
-    """The Figure 9/10 experiment, as a batched ensemble.
+    """The Figure 9/10 experiment, through the facade.
 
     Per trial: N = 2000, b = 32, gamma = 0.1, alpha = 0.005, 6-minute
     periods (10 per hour), synthetic Overnet-style churn traces
@@ -90,23 +85,21 @@ def churn_run():
         )
         for m in range(CHURN_TRIALS)
     ]
-    engine = BatchRoundEngine(
-        spec, n=n, trials=CHURN_TRIALS,
-        initial=params.equilibrium_counts(n), seed=91,
-    )
-    recorder = BatchMetricsRecorder(spec.states, CHURN_TRIALS)
-    engine.run(
-        hours * 10, recorder=recorder,
-        hook_factories=[
-            lambda m: ChurnReplayer(traces[m], periods_per_hour=10.0)
-        ],
-    )
+    result = Experiment(
+        Protocol.from_spec(spec, params.equilibrium_counts(n)),
+        n=n, trials=CHURN_TRIALS, periods=hours * 10, seed=91,
+        engine="batch",
+        scenario=Scenario.from_trial_hooks(
+            lambda m: ChurnReplayer(traces[m], periods_per_hour=10.0),
+            label="fig9-churn-traces",
+        ),
+    ).run()
     return {
         "n": n,
         "trials": CHURN_TRIALS,
         "hours": hours,
         "params": params,
-        "engine": engine,
-        "recorder": recorder,
+        "result": result,
+        "recorder": result.recorder,
         "traces": traces,
     }

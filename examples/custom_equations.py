@@ -16,38 +16,38 @@ that are not in the paper:
 Run:  python examples/custom_equations.py
 """
 
-import numpy as np
-
 from repro.analysis.mean_field import compare_trajectory
-from repro.odes import auto_rewrite, classify, library, parse_system
-from repro.runtime import RoundEngine
+from repro.experiment import Experiment, Protocol
+from repro.odes import classify, library, parse_system
 from repro.synthesis import synthesize
 
 
 def sirs_rumor() -> None:
     print("=" * 70)
-    print("1. SIRS rumor model (direct mapping)")
-    system = parse_system(
+    print("1. SIRS rumor model (direct mapping, via the facade)")
+    protocol = Protocol.from_equations(
         """
         s' = -0.6*s*i + 0.05*r     # hear the rumor; forget immunity
         i' =  0.6*s*i - 0.2*i      # spread; lose interest
         r' =  0.2*i   - 0.05*r
         """,
         name="sirs-rumor",
+        initial={"s": 0.995, "i": 0.005, "r": 0.0},
     )
+    system = protocol.system()
     print(classify(system).render())
-    protocol = synthesize(system)
-    print(protocol.render())
     n = 20_000
-    engine = RoundEngine(protocol, n=n, initial={"s": n - 100, "i": 100, "r": 0},
-                         seed=11)
-    engine.run(protocol.periods_for_time(200.0))
-    counts = engine.counts()
-    print(f"simulated equilibrium: {counts}")
-    from repro.odes import find_equilibria
-    stable = [e for e in find_equilibria(system) if e.is_stable]
-    print(f"analytic equilibrium:  "
-          f"{ {k: round(v * n) for k, v in stable[0].point.items()} }")
+    spec = protocol.resolve(n).spec
+    print(spec.render())
+    result = Experiment(
+        protocol, n=n, trials=4, periods=spec.periods_for_time(200.0),
+        seed=11,
+    ).run()
+    print(f"simulated equilibrium (ensemble mean): "
+          f"{result.mean_final_counts()}")
+    # The facade's equilibrium check compares the stationary window
+    # against the closed-form stable equilibrium of the source ODE.
+    print(result.equilibrium_check().render())
     print()
 
 
@@ -60,17 +60,24 @@ def raw_lotka_volterra() -> None:
         name="lv-raw",
     )
     print("before rewriting:", classify(raw).mapping_technique)
-    mappable = auto_rewrite(raw)
+    # Protocol.from_equations applies auto_rewrite when the system is
+    # not directly mappable -- the slack state z appears by itself.
+    protocol = Protocol.from_equations(
+        "x' = 3*x - 3*x^2 - 6*x*y\n"
+        "y' = 3*y - 3*y^2 - 6*x*y",
+        name="lv-raw", p=0.01,
+        initial={"x": 0.56, "y": 0.44, "z": 0.0},
+    )
+    mappable = protocol.system()
     print("after auto_rewrite:")
     print(mappable.render())
     print("matches the paper's equation (7):",
           mappable.equivalent_to(library.lv()))
-    protocol = synthesize(mappable, p=0.01)
     n = 10_000
-    engine = RoundEngine(protocol, n=n, initial={"x": 5600, "y": 4400, "z": 0},
-                         seed=12)
-    engine.run(1500)
-    print(f"56/44 vote at N={n}: final {engine.counts()}")
+    # One trial: Experiment auto-selects the serial RoundEngine tier.
+    result = Experiment(protocol, n=n, periods=1500, seed=12).run()
+    print(f"56/44 vote at N={n} ({result.engine} engine): "
+          f"final {result.mean_final_counts()}")
     print()
 
 

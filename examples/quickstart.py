@@ -1,79 +1,89 @@
 #!/usr/bin/env python3
-"""Quickstart: from differential equations to a running protocol.
+"""Quickstart: from differential equations to ensemble results.
 
 This walks the full pipeline of the framework on the paper's motivating
-example (the epidemic equations (0)):
+example (the epidemic equations (0)), through the ``repro.experiment``
+facade -- the one declarative API over parsing, taxonomy, synthesis and
+the engine tiers:
 
-1. write the equations as text and parse them;
-2. classify them against the Section 2 taxonomy;
-3. synthesize the distributed protocol (Section 3);
-4. simulate 10,000 processes and compare with the mean-field analysis.
+1. write the equations as text and wrap them in a ``Protocol`` handle
+   (parse + classify + synthesize happen inside);
+2. inspect the taxonomy and the synthesized state machine;
+3. run an 8-trial ensemble of 10,000 processes with ``Experiment``
+   (the batch engine is auto-selected for ensembles);
+4. compare the ensemble mean with the mean-field analysis.
+
+The same run is one command on the CLI::
+
+    python -m repro run examples/endemic.txt --n 10000 --trials 16
 
 Run:  python examples/quickstart.py
 """
 
-from repro.odes import classify, integrate, parse_system
-from repro.runtime import RoundEngine
-from repro.synthesis import synthesize
+import math
+
+from repro.experiment import Experiment, Protocol
+from repro.odes import classify, integrate
 from repro.viz import render_series
+
+N = 10_000
+TRIALS = 8
 
 
 def main() -> None:
-    # 1. Equations, the way a scientist writes them.
-    system = parse_system(
+    # 1. Equations, the way a scientist writes them -- one handle.
+    protocol = Protocol.from_equations(
         """
         x' = -x*y     # susceptible meets infected
         y' =  x*y
         """,
         name="epidemic",
+        initial={"x": 1 - 1 / N, "y": 1 / N},  # one seed process
     )
+    system = protocol.system()
     print("equations:")
     print(system.render())
     print()
 
-    # 2. Taxonomy (Section 2): complete? partitionable? restricted?
-    report = classify(system)
-    print(report.render())
+    # 2. Taxonomy (Section 2) and the synthesized protocol (Section 3):
+    # the canonical pull epidemic falls out.
+    print(classify(system).render())
+    print()
+    spec = protocol.resolve(N).spec
+    print(spec.render())
     print()
 
-    # 3. Synthesis (Section 3): the canonical pull epidemic falls out.
-    protocol = synthesize(system)
-    print(protocol.render())
-    print()
+    # 3. Run an ensemble: trials > 1 auto-selects the batch engine.
+    result = Experiment(
+        protocol, n=N, trials=TRIALS, periods=40, seed=42
+    ).run()
 
-    # 4. Simulate N = 10,000 processes, one initially infected.
-    n = 10_000
-    engine = RoundEngine(
-        protocol, n=n, initial={"x": n - 1, "y": 1}, seed=42
-    )
-    result = engine.run(periods=40)
-    recorder = result.recorder
-
-    # Mean-field reference (the paper's analysis).
+    # 4. Mean-field reference (the paper's analysis).
     trajectory = integrate(
-        system, {"x": 1 - 1 / n, "y": 1 / n}, t_end=40.0, samples=41
+        system, {"x": 1 - 1 / N, "y": 1 / N}, t_end=40.0, samples=41
     )
 
     print(render_series(
-        recorder.times,
+        result.times,
         {
-            "simulated infected": recorder.counts("y"),
-            "mean-field infected": trajectory.series("y") * n,
+            "simulated infected (ensemble mean)": result.mean_counts("y"),
+            "mean-field infected": trajectory.series("y") * N,
         },
         width=70, height=16,
-        title=f"pull epidemic, N={n}: simulation vs analysis",
+        title=f"pull epidemic, N={N}, {TRIALS} trials ({result.engine} "
+              f"engine): simulation vs analysis",
     ))
     print()
-    print(f"final counts: {result.final_counts()}")
+    print(f"final counts (ensemble mean): {result.mean_final_counts()}")
     print(f"messages sent per process per period: "
-          f"{protocol.message_complexity()}")
+          f"{spec.message_complexity()}")
+    susceptible = result.mean_counts("x")
     first_clear = next(
-        (int(t) for t, x in zip(recorder.times, recorder.counts('x'))
-         if x <= 1),
+        (int(t) for t, x in zip(result.times, susceptible) if x <= 1),
         None,
     )
-    print(f"rounds to <=1 susceptible: {first_clear} "
-          f"(theory: O(log N) ~= {2 * __import__('math').log(n):.1f})")
+    print(f"rounds to <=1 susceptible (ensemble mean): {first_clear} "
+          f"(theory: O(log N) ~= {2 * math.log(N):.1f})")
 
 
 if __name__ == "__main__":

@@ -16,13 +16,28 @@ The library is organized in layers:
   endemic migratory replication, LV majority selection, plus baselines.
 * :mod:`repro.analysis` -- perturbation analysis, stability and
   convergence complexity, probabilistic safety, fairness metrics.
+* :mod:`repro.experiment` -- the declarative facade over all of the
+  above: ``Protocol`` handles (equations file / registry name /
+  hand-built spec), ``Experiment`` with automatic engine-tier
+  selection, one ``ExperimentResult`` surface.  **Start here.**
 * :mod:`repro.campaign` -- declarative experiment campaigns: grids of
   protocol x N x loss rate x failure scenario, executed as batched
   multi-trial ensembles with recorded seeds for bit-for-bit replay.
 * :mod:`repro.store` -- example applications: a migratory replicated
   file store and a majority-vote service.
 
-Quickstart::
+Quickstart (the facade: equations in, ensemble results out)::
+
+    from repro.experiment import Experiment, Protocol
+
+    protocol = Protocol.from_equations("examples/endemic.txt")
+    result = Experiment(protocol, n=10_000, trials=16, periods=200,
+                        seed=7).run()      # auto-selects the batch engine
+    print(result.render_summary())
+    print(result.equilibrium_check().render())
+
+The engine tiers remain directly usable when a study needs one run or
+one engine in particular::
 
     from repro.odes import library
     from repro.synthesis import synthesize
@@ -34,20 +49,21 @@ Quickstart::
                          initial={"x": 9_999, "y": 1})
     result = engine.run(periods=40)
     print(result.final_counts())         # epidemic has taken over
-
-Ensemble quickstart (M trials in one batched engine)::
-
-    from repro.runtime import BatchRoundEngine
-
-    batch = BatchRoundEngine(protocol, n=10_000, trials=32, seed=7,
-                             initial={"x": 9_999, "y": 1})
-    result = batch.run(periods=40)
-    print(result.mean_final_counts())    # ensemble means over 32 trials
 """
 
-from . import analysis, campaign, odes, protocols, runtime, store, synthesis, viz
+from . import (
+    analysis,
+    campaign,
+    experiment,
+    odes,
+    protocols,
+    runtime,
+    store,
+    synthesis,
+    viz,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "odes",
@@ -55,6 +71,7 @@ __all__ = [
     "runtime",
     "protocols",
     "analysis",
+    "experiment",
     "campaign",
     "store",
     "viz",

@@ -2,6 +2,11 @@
 
 Usage::
 
+    python -m repro run       equations.txt|protocol-name --n 10000
+                               --trials 16 [--periods 200] [--param ...]
+                               [--scenario massive-failure]
+                               [--engine auto|serial|batch|lockstep]
+                               [--seed 42] [--loss-rate 0.05] [--plot]
     python -m repro classify  equations.txt [--param beta=4 ...]
     python -m repro synthesize equations.txt [--param ...] [--p 0.01]
                                [--failure-rate 0.1] [--no-rewrite]
@@ -39,7 +44,8 @@ from .campaign import (
     run_campaign,
     verify_replay,
 )
-from .odes import auto_rewrite, classify, find_equilibria, integrate, parse_system
+from .experiment import ENGINES, Experiment, Protocol, parse_param_directives
+from .odes import ParseError, auto_rewrite, classify, find_equilibria, integrate, parse_system
 from .runtime import MetricsRecorder, RoundEngine
 from .synthesis import SynthesisError, synthesize
 from .viz import format_table, render_series
@@ -60,9 +66,16 @@ def _parse_bindings(pairs: List[str], kind: str) -> Dict[str, float]:
 
 def _load_system(args) -> "EquationSystem":
     text = Path(args.equations).read_text()
+    # ``# param:`` directives in the file supply defaults; explicit
+    # --param flags override them (same rule as ``python -m repro run``).
+    try:
+        parameters = parse_param_directives(text)
+    except ValueError as exc:
+        raise SystemExit(f"{args.equations}: {exc}")
+    parameters.update(_parse_bindings(args.param, "param"))
     system = parse_system(
         text,
-        parameters=_parse_bindings(args.param, "param"),
+        parameters=parameters,
         name=Path(args.equations).stem,
     )
     return system
@@ -166,6 +179,104 @@ def cmd_analyze(args) -> int:
             title=f"trajectory from {initial}",
         ))
     return 0
+
+
+def cmd_run(args) -> int:
+    """The zero-to-aha path: equations (or a name) -> ensemble results.
+
+    Resolves the target to a :class:`repro.experiment.Protocol` handle
+    (an equations file -- with ``# param:`` directives and ``--param``
+    overrides -- or a campaign-registry name), runs an
+    :class:`repro.experiment.Experiment` on the auto-selected engine
+    tier, and prints the ensemble trajectory summary plus the
+    equilibrium-vs-closed-form check.  Exit status 1 when the check
+    FAILs (PASS/WARN/SKIP exit 0) -- except under ``--scenario``,
+    where injected faults legitimately hold the group away from the
+    unperturbed equilibrium, so the check is informational only (a
+    printed note says so) and never fails the run.
+    """
+    target = args.target
+    params = _parse_bindings(args.param, "param")
+    initial = _parse_bindings(args.initial, "initial") or None
+    is_file = Path(target).is_file()
+    if is_file:
+        try:
+            protocol = Protocol.from_equations(
+                Path(target), parameters=params, p=args.p,
+                failure_rate=args.loss_rate,
+            )
+        except (ParseError, SynthesisError, ValueError) as exc:
+            print(f"cannot build a protocol from {target}: {exc}",
+                  file=sys.stderr)
+            return 1
+        origin = target
+    else:
+        if params or args.p is not None:
+            print("--param/--p only apply to equations files, not to "
+                  "registry protocol names", file=sys.stderr)
+            return 1
+        try:
+            protocol = Protocol.named(target)
+        except KeyError:
+            print(f"{target!r} is neither an equations file nor a "
+                  f"registered protocol; "
+                  f"available: {', '.join(available_protocols())}",
+                  file=sys.stderr)
+            return 1
+        origin = "registry"
+    try:
+        experiment = Experiment(
+            protocol, n=args.n, trials=args.trials, periods=args.periods,
+            scenario=None if args.scenario in (None, "none")
+            else args.scenario,
+            seed=args.seed, engine=args.engine, loss_rate=args.loss_rate,
+            stride=args.stride, initial=initial,
+        )
+        result = experiment.run()
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"invalid experiment: {exc}", file=sys.stderr)
+        return 1
+    spec = result.spec
+    engine_note = (
+        f"{result.engine} (auto-selected)" if args.engine == "auto"
+        else result.engine
+    )
+    print(f"protocol {protocol.label!r} ({origin}): "
+          f"states {', '.join(spec.states)}")
+    # experiment.seed is concrete even when --seed was omitted (a fresh
+    # root seed is drawn and recorded), so the printed value always
+    # reproduces the run.
+    print(f"engine: {engine_note}  n={args.n}  trials={args.trials}  "
+          f"periods={args.periods}  seed={experiment.seed}"
+          + (f"  scenario={args.scenario}"
+             if args.scenario not in (None, "none") else "")
+          + (f"  loss rate={args.loss_rate:g}" if args.loss_rate else ""))
+    print(f"one period = {spec.time_scale:g} time units of the source "
+          f"equations (horizon t = {spec.time_for_periods(args.periods):g})")
+    if args.show_protocol:
+        print()
+        print(spec.render())
+    print()
+    print(f"ensemble trajectory summary over {args.trials} trial(s) "
+          f"({result.elapsed_seconds:.2f}s):")
+    print(result.render_summary())
+    print()
+    check = result.equilibrium_check()
+    print(check.render())
+    scenario_active = args.scenario not in (None, "none")
+    if scenario_active:
+        print(f"note: scenario {args.scenario!r} perturbs the group, so "
+              f"the closed-form comparison is informational only")
+    if args.plot:
+        print()
+        print(render_series(
+            result.times,
+            {s: result.mean_counts(s) for s in spec.states},
+            width=70, height=16,
+            title=f"{spec.name} (N={args.n}, ensemble mean of "
+                  f"{args.trials} trial(s))",
+        ))
+    return 1 if (check.status == "FAIL" and not scenario_active) else 0
 
 
 def _campaign_spec_from_args(args) -> CampaignSpec:
@@ -319,8 +430,8 @@ def cmd_campaign(args) -> int:
         Path(args.out).write_text(result.to_json())
         print(f"wrote {len(result.results)} point results to {args.out}")
     if args.save_tensors:
-        print(f"wrote {len(result.results)} count tensors to "
-              f"{args.save_tensors}")
+        print(f"wrote {len(result.results)} count tensors and "
+              f"manifest.json to {args.save_tensors}")
     return 0
 
 
@@ -331,6 +442,55 @@ def build_parser() -> argparse.ArgumentParser:
                     "protocols (Gupta, PODC 2004).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser(
+        "run",
+        help="equations (or a protocol name) -> ensemble results, "
+             "engine tier auto-selected",
+    )
+    p_run.add_argument(
+        "target",
+        help="equations file (one equation per line; '# param:' "
+             "directives supply default rates) or a registered "
+             "protocol name",
+    )
+    p_run.add_argument("--param", action="append", default=[],
+                       metavar="NAME=VALUE",
+                       help="bind a rate symbol (overrides '# param:' "
+                            "directives in the file)")
+    p_run.add_argument("--n", type=int, default=10_000, help="group size")
+    p_run.add_argument("--trials", type=int, default=16,
+                       help="ensemble width M (default 16)")
+    p_run.add_argument("--periods", type=int, default=200,
+                       help="protocol periods per trial (default 200)")
+    p_run.add_argument("--seed", type=int, default=None, help="root seed")
+    p_run.add_argument("--engine", choices=ENGINES, default="auto",
+                       help="engine tier (default auto: serial for one "
+                            "trial, batch for ensembles)")
+    p_run.add_argument("--scenario", default=None,
+                       help="failure scenario name (see campaign "
+                            "--dry-run for the registry); makes the "
+                            "equilibrium check informational (never "
+                            "exit 1)")
+    p_run.add_argument("--loss-rate", type=float, default=0.0,
+                       help="per-connection failure rate f (equations "
+                            "targets are failure-compensated for it)")
+    p_run.add_argument("--initial", action="append", default=[],
+                       metavar="STATE=COUNT",
+                       help="initial counts, overriding the protocol's "
+                            "own start (equations targets default to "
+                            "the stable ODE equilibrium; registry "
+                            "targets to their registered start)")
+    p_run.add_argument("--p", type=float, default=None,
+                       help="normalizing constant (equations targets; "
+                            "default: auto)")
+    p_run.add_argument("--stride", type=int, default=1,
+                       help="record every stride-th period")
+    p_run.add_argument("--show-protocol", action="store_true",
+                       help="print the synthesized state machine")
+    p_run.add_argument("--plot", action="store_true",
+                       help="ASCII plot of the ensemble-mean counts")
+    p_run.set_defaults(func=cmd_run)
 
     def common(p):
         p.add_argument("equations", help="file with one equation per line")

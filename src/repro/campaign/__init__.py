@@ -34,13 +34,19 @@ from .registry import (
     available_protocols,
     available_scenarios,
     build_protocol,
+    protocol_builder,
     register_protocol,
     register_scenario,
+    resolve_protocol,
+    scenario_builder,
     scenario_hook_factory,
+    scenario_seeds,
 )
 from .runner import (
+    MANIFEST_NAME,
     CampaignResult,
     PointResult,
+    load_manifest,
     replay_point,
     run_campaign,
     run_point,
@@ -56,10 +62,16 @@ __all__ = [
     "run_point",
     "replay_point",
     "verify_replay",
+    "load_manifest",
+    "MANIFEST_NAME",
     "build_protocol",
+    "resolve_protocol",
+    "protocol_builder",
     "register_protocol",
     "register_scenario",
+    "scenario_builder",
     "scenario_hook_factory",
+    "scenario_seeds",
     "available_protocols",
     "available_scenarios",
 ]

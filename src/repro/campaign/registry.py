@@ -9,6 +9,7 @@ before a campaign is run.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Tuple
 
 from ..protocols.endemic import EndemicParams, figure1_protocol
@@ -20,6 +21,7 @@ from ..runtime.rng import spawn_seeds
 from ..synthesis.protocol import ProtocolSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..experiment.protocol import Protocol
     from .grid import CampaignPoint
 
 #: name -> builder(n) -> (spec, initial distribution)
@@ -94,15 +96,47 @@ def available_protocols() -> List[str]:
     return sorted(_PROTOCOLS)
 
 
-def build_protocol(name: str, n: int) -> Tuple[ProtocolSpec, Mapping[str, float]]:
-    """Resolve a protocol name to a (spec, initial distribution) pair."""
+def protocol_builder(name: str) -> ProtocolBuilder:
+    """The raw registered builder behind a protocol name."""
     try:
-        builder = _PROTOCOLS[name]
+        return _PROTOCOLS[name]
     except KeyError:
         raise KeyError(
             f"unknown protocol {name!r}; available: {available_protocols()}"
         ) from None
-    return builder(n)
+
+
+def resolve_protocol(name: str) -> "Protocol":
+    """Resolve a protocol name to a :class:`repro.experiment.Protocol`.
+
+    The canonical resolution path: campaigns and the ``run`` CLI hand
+    these handles to :class:`~repro.experiment.experiment.Experiment`
+    (or call ``handle.resolve(n)``) instead of unpacking raw builder
+    tuples.
+    """
+    # Lazy import: repro.experiment.Protocol.named resolves through
+    # this registry.
+    from ..experiment.protocol import Protocol
+
+    return Protocol.named(name)
+
+
+def build_protocol(name: str, n: int) -> Tuple[ProtocolSpec, Mapping[str, float]]:
+    """Deprecated: resolve a name to a raw (spec, initial) builder tuple.
+
+    Kept as a shim for pre-facade call sites.  Use
+    :func:`resolve_protocol` (a :class:`~repro.experiment.Protocol`
+    handle) or :class:`repro.experiment.Experiment` instead.
+    """
+    warnings.warn(
+        "build_protocol() is deprecated; use "
+        "repro.campaign.resolve_protocol(name) / "
+        "repro.experiment.Protocol.named(name) and .resolve(n) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    resolved = resolve_protocol(name).resolve(n)
+    return resolved.spec, resolved.initial
 
 
 # ----------------------------------------------------------------------
@@ -185,21 +219,34 @@ def available_scenarios() -> List[str]:
     return sorted(_SCENARIOS)
 
 
-def scenario_hook_factory(point: "CampaignPoint") -> Callable[[int], List[Callable]]:
-    """A per-trial hook factory for the point's scenario.
+def scenario_builder(name: str) -> ScenarioBuilder:
+    """The raw registered builder behind a scenario name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; "
+            f"available: {available_scenarios()}"
+        ) from None
+
+
+def scenario_seeds(seed: int, trials: int) -> List[int]:
+    """The per-trial scenario seed family for a run rooted at ``seed``.
 
     Scenario randomness draws from a seed family domain-separated from
     the engine's protocol streams, so adding or changing a scenario
-    never perturbs the protocol's own sampling sequence.
+    never perturbs the protocol's own sampling sequence.  Campaigns and
+    :class:`repro.experiment.Scenario` share this family, so an
+    experiment and a campaign point with the same parameters inject
+    identical faults.
     """
-    try:
-        builder = _SCENARIOS[point.scenario]
-    except KeyError:
-        raise KeyError(
-            f"unknown scenario {point.scenario!r}; "
-            f"available: {available_scenarios()}"
-        ) from None
-    seeds = spawn_seeds((point.seed, _SCENARIO_DOMAIN), point.trials)
+    return spawn_seeds((seed, _SCENARIO_DOMAIN), trials)
+
+
+def scenario_hook_factory(point: "CampaignPoint") -> Callable[[int], List[Callable]]:
+    """A per-trial hook factory for the point's scenario."""
+    builder = scenario_builder(point.scenario)
+    seeds = scenario_seeds(point.seed, point.trials)
 
     def factory(trial: int) -> List[Callable]:
         return builder(point, trial, seeds[trial])

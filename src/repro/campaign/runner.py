@@ -24,26 +24,25 @@ offline analysis.
 
 from __future__ import annotations
 
+import datetime
 import json
 import multiprocessing
+import os
 import pickle
+import platform
 import time
 import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..experiment.scenario import Scenario
 from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
 from ..runtime.rng import spawn_seeds
 from .grid import CampaignPoint, CampaignSpec
-from .registry import (
-    build_protocol,
-    custom_entries,
-    install_entries,
-    scenario_hook_factory,
-)
+from .registry import custom_entries, install_entries, resolve_protocol
 
 #: Quantiles reported in point summaries.
 SUMMARY_QUANTILES = (0.25, 0.5, 0.75)
@@ -138,12 +137,12 @@ class CampaignResult:
 
 
 def _make_engine(point: CampaignPoint) -> BatchRoundEngine:
-    spec, initial = build_protocol(point.protocol, point.n)
+    resolved = resolve_protocol(point.protocol).resolve(point.n)
     return BatchRoundEngine(
-        spec,
+        resolved.spec,
         n=point.n,
         trials=point.trials,
-        initial=initial,
+        initial=resolved.initial,
         seed=point.seed,
         connection_failure_rate=point.loss_rate,
         mode=point.mode,
@@ -151,18 +150,10 @@ def _make_engine(point: CampaignPoint) -> BatchRoundEngine:
 
 
 def _composite_hook_factory(point: CampaignPoint) -> Callable[[int], Callable]:
-    per_trial = scenario_hook_factory(point)
-
-    def factory(trial: int) -> Callable:
-        hooks = per_trial(trial)
-
-        def composite(view) -> None:
-            for hook in hooks:
-                hook(view)
-
-        return composite
-
-    return factory
+    # A CampaignPoint duck-types the experiment facade's RunContext, so
+    # the campaign layer shares the Scenario contract (and its
+    # domain-separated seed family) with repro.experiment.
+    return Scenario.named(point.scenario).hook_factory(point)
 
 
 def _shard_points(point: CampaignPoint) -> List[CampaignPoint]:
@@ -325,6 +316,58 @@ def _save_tensor(
     return name
 
 
+#: File name of the campaign-level index written next to the tensors.
+MANIFEST_NAME = "manifest.json"
+
+
+def _write_manifest(
+    directory: Path, spec: CampaignSpec, results: List[PointResult]
+) -> None:
+    """Write the campaign-level ``manifest.json`` into the tensors dir.
+
+    One file indexes every point of the campaign -- its parameters,
+    seeds, tensor file and summary provenance -- so offline analysis
+    loads the manifest instead of globbing and re-parsing per-point
+    ``.npz`` files.  ``SOURCE_DATE_EPOCH`` pins the ``created`` stamp
+    for byte-identical reruns.
+    """
+    epoch = os.environ.get("SOURCE_DATE_EPOCH")
+    if epoch is not None:
+        created = datetime.datetime.fromtimestamp(
+            int(epoch), tz=datetime.timezone.utc
+        ).isoformat()
+    else:
+        created = datetime.datetime.now(tz=datetime.timezone.utc).isoformat()
+    manifest = {
+        "campaign": spec.name,
+        "spec": spec.to_dict(),
+        "points": [
+            {
+                "index": index,
+                "label": result.point.label,
+                "point": result.point.to_dict(),
+                "tensor": result.tensor_path,
+                "states": list(result.states),
+                "trial_seeds": list(result.trial_seeds),
+                "recorded_periods": list(result.recorded_periods),
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+            for index, result in enumerate(results)
+        ],
+        "provenance": {
+            "created": created,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+
+
+def load_manifest(directory) -> Dict:
+    """Read a campaign tensors directory's ``manifest.json``."""
+    return json.loads((Path(directory) / MANIFEST_NAME).read_text())
+
+
 def run_campaign(
     spec: CampaignSpec,
     workers: int = 1,
@@ -345,7 +388,10 @@ def run_campaign(
     ``save_tensors`` names a directory (created if missing) that
     receives one compressed ``.npz`` per point with the full
     ``(M, periods, states)`` count tensor; each
-    :class:`PointResult.tensor_path` records its file.
+    :class:`PointResult.tensor_path` records its file, and a
+    campaign-level ``manifest.json`` (see :func:`load_manifest`)
+    indexes every point's parameters, seeds and tensor path for
+    offline analysis.
     """
     points = spec.expand()
     if workers < 1:
@@ -437,9 +483,10 @@ def run_campaign(
             for key, output in pool.imap_unordered(_run_shard_job, jobs):
                 complete(key[0], key[1], output)
 
-    return CampaignResult(
-        spec=spec, results=[results[i] for i in range(len(points))]
-    )
+    ordered = [results[i] for i in range(len(points))]
+    if tensors_dir is not None:
+        _write_manifest(tensors_dir, spec, ordered)
+    return CampaignResult(spec=spec, results=ordered)
 
 
 def _run_shard_job(job):

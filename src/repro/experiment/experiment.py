@@ -1,0 +1,237 @@
+"""The declarative equations-to-results runner.
+
+:class:`Experiment` is the canonical way to run a protocol: give it a
+:class:`~repro.experiment.protocol.Protocol` handle (or a registry
+name), a group size, a trial count and a horizon, and it picks the
+right engine tier, wires the scenario hooks into that tier's
+convention, and returns one
+:class:`~repro.experiment.result.ExperimentResult` whatever ran
+underneath.
+
+Engine auto-selection (``engine="auto"``):
+
+* ``trials == 1`` -> the **serial** :class:`RoundEngine` (single-run
+  studies, and anything whose hooks must see a real engine);
+* ``trials > 1`` -> the **batch** :class:`BatchRoundEngine` in its
+  vectorized mode (ensembles: means, quantile bands, frequencies).
+
+Explicit tiers: ``engine="serial"`` runs ``trials`` seeded
+:class:`RoundEngine` instances (seeds from
+:func:`~repro.runtime.rng.spawn_seeds`); ``engine="lockstep"`` runs
+the batch engine's lockstep mode, which is *bit-identical* to the
+serial tier trial for trial (the validation bridge);
+``engine="batch"`` forces the vectorized mode (statistically
+equivalent, not draw-for-draw).
+"""
+
+from __future__ import annotations
+
+import secrets
+import time
+from typing import Mapping, Optional, Union
+
+from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
+from ..runtime.metrics import MetricsRecorder
+from ..runtime.round_engine import RoundEngine
+from ..runtime.rng import spawn_seeds
+from .protocol import Protocol
+from .result import ExperimentResult
+from .scenario import RunContext, Scenario
+
+ENGINES = ("auto", "serial", "batch", "lockstep")
+
+
+class Experiment:
+    """A fully-specified protocol run: who, how large, how long, under what.
+
+    Parameters
+    ----------
+    protocol:
+        A :class:`Protocol` handle or a campaign-registry name.
+    n:
+        Group size per trial.
+    trials:
+        Ensemble width M (default 1).
+    periods:
+        Protocol periods per trial.
+    scenario:
+        Fault injection: ``None``, a registry scenario name, a
+        :class:`Scenario`, or a per-trial hook factory.
+    seed:
+        Root seed.  Serial and lockstep engines spawn per-trial seeds
+        from it, so their trials agree bit for bit; scenario seeds come
+        from a domain-separated family (campaign-compatible).  ``None``
+        draws a fresh root seed, recorded on :attr:`seed`, so every
+        run -- including its fault injection -- remains reproducible
+        after the fact.
+    engine:
+        ``"auto"`` (default), ``"serial"``, ``"batch"`` or
+        ``"lockstep"``; see the module docstring.
+    loss_rate:
+        Per-connection failure probability (Section 3's ``f``).
+    stride:
+        Record every ``stride``-th period.
+    record_transitions:
+        Keep per-edge transition tensors (default True).
+    member_log_state:
+        Record per-period member ids of one state (the Figure 8 log).
+    initial:
+        Override the protocol handle's initial distribution (counts
+        summing to ``n`` or fractions summing to 1).
+    """
+
+    def __init__(
+        self,
+        protocol: Union[Protocol, str],
+        n: int,
+        *,
+        trials: int = 1,
+        periods: int = 100,
+        scenario: Union[None, str, Scenario] = None,
+        seed: Optional[int] = None,
+        engine: str = "auto",
+        loss_rate: float = 0.0,
+        stride: int = 1,
+        record_transitions: bool = True,
+        member_log_state: Optional[str] = None,
+        initial: Optional[Mapping[str, float]] = None,
+    ):
+        if isinstance(protocol, str):
+            protocol = Protocol.named(protocol)
+        if not isinstance(protocol, Protocol):
+            raise TypeError(
+                f"protocol must be a Protocol handle or a registry name, "
+                f"got {type(protocol).__name__}; wrap raw specs with "
+                f"Protocol.from_spec(spec, initial)"
+            )
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        if periods < 1:
+            raise ValueError(f"periods must be >= 1, got {periods}")
+        self.protocol = protocol
+        self.n = n
+        self.trials = trials
+        self.periods = periods
+        self.scenario = Scenario.normalize(scenario)
+        # An unseeded run still gets a *concrete* root seed: protocol
+        # and scenario streams must derive from the same root (the
+        # scenario family is spawned from it), and recording it is the
+        # only way an unseeded run can be replayed afterwards.
+        self.seed = seed if seed is not None else secrets.randbits(63)
+        self.engine = engine
+        self.loss_rate = loss_rate
+        self.stride = stride
+        self.record_transitions = record_transitions
+        self.member_log_state = member_log_state
+        self.initial = dict(initial) if initial is not None else None
+
+    # ------------------------------------------------------------------
+    # Engine selection
+    # ------------------------------------------------------------------
+    @property
+    def chosen_engine(self) -> str:
+        """The tier that will run: auto resolves to serial or batch."""
+        if self.engine != "auto":
+            return self.engine
+        return "serial" if self.trials == 1 else "batch"
+
+    def context(self) -> RunContext:
+        """The campaign-point-shaped description of this run."""
+        return RunContext(
+            protocol=self.protocol.label,
+            n=self.n,
+            loss_rate=self.loss_rate,
+            scenario=self.scenario.label if self.scenario else "none",
+            trials=self.trials,
+            periods=self.periods,
+            seed=self.seed,
+            stride=self.stride,
+            mode=self.chosen_engine,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Execute the experiment on the selected engine tier."""
+        resolved = self.protocol.resolve(self.n)
+        initial = self.initial if self.initial is not None else resolved.initial
+        engine_name = self.chosen_engine
+        started = time.perf_counter()
+        if engine_name == "serial":
+            result = self._run_serial(resolved.spec, initial)
+        else:
+            result = self._run_batched(resolved.spec, initial, engine_name)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _run_serial(self, spec, initial) -> ExperimentResult:
+        context = self.context()
+        seeds = spawn_seeds(self.seed, self.trials)
+        scenario_seeds = (
+            self.scenario.trial_seeds(context) if self.scenario else None
+        )
+        recorders = []
+        for trial, trial_seed in enumerate(seeds):
+            engine = RoundEngine(
+                spec, n=self.n, initial=initial, seed=trial_seed,
+                connection_failure_rate=self.loss_rate,
+            )
+            recorder = MetricsRecorder(
+                spec.states,
+                track_transitions=self.record_transitions,
+                member_log_state=self.member_log_state,
+                stride=self.stride,
+            )
+            hooks = (
+                self.scenario.hooks_for(context, trial, scenario_seeds[trial])
+                if self.scenario else ()
+            )
+            engine.run(self.periods, recorder=recorder, hooks=hooks)
+            recorders.append(recorder)
+        return ExperimentResult(
+            spec=spec, n=self.n, trials=self.trials, periods=self.periods,
+            engine="serial", trial_seeds=list(seeds), elapsed_seconds=0.0,
+            protocol=self.protocol,
+            scenario=self.scenario.label if self.scenario else None,
+            trial_recorders=recorders,
+        )
+
+    def _run_batched(self, spec, initial, engine_name: str) -> ExperimentResult:
+        context = self.context()
+        engine = BatchRoundEngine(
+            spec, n=self.n, trials=self.trials, initial=initial,
+            seed=self.seed, connection_failure_rate=self.loss_rate,
+            mode=engine_name if engine_name == "lockstep" else "batch",
+        )
+        recorder = BatchMetricsRecorder(
+            spec.states, self.trials,
+            track_transitions=self.record_transitions,
+            member_log_state=self.member_log_state,
+            stride=self.stride,
+        )
+        hook_factories = (
+            [self.scenario.hook_factory(context)] if self.scenario else ()
+        )
+        engine.run(
+            self.periods, recorder=recorder, hook_factories=hook_factories
+        )
+        return ExperimentResult(
+            spec=spec, n=self.n, trials=self.trials, periods=self.periods,
+            engine=engine_name, trial_seeds=list(engine.trial_seeds),
+            elapsed_seconds=0.0,
+            protocol=self.protocol,
+            scenario=self.scenario.label if self.scenario else None,
+            recorder=recorder,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Experiment({self.protocol.label!r}, n={self.n}, "
+            f"trials={self.trials}, periods={self.periods}, "
+            f"engine={self.engine!r})"
+        )

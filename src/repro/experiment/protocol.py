@@ -1,0 +1,286 @@
+"""Protocol handles: one way to hold "a protocol plus how to start it".
+
+Before this module existed a protocol could come into existence three
+ways, each with its own calling convention:
+
+* parse an equations file and run it through ``odes.parser`` ->
+  ``odes.rewrite`` -> ``synthesis.synthesize`` by hand;
+* look a name up in the campaign registry and call the builder, getting
+  a raw ``(spec, initial)`` tuple back;
+* construct a :class:`~repro.synthesis.protocol.ProtocolSpec` directly
+  (the ``repro.protocols`` case studies) and carry the initial
+  distribution around separately.
+
+A :class:`Protocol` unifies them: however it was created, it resolves
+to a ``(spec, initial counts)`` pair for a concrete group size via
+:meth:`Protocol.resolve`, and knows the analytic equilibrium the
+source equations predict (the reference for
+:meth:`~repro.experiment.result.ExperimentResult.equilibrium_check`).
+
+Equations files may embed default parameter bindings as directives::
+
+    # param: beta = 4  gamma = 0.5
+    x' = -beta*x*y + ...
+
+so that ``python -m repro run equations.txt`` works with no flags;
+explicit ``parameters`` (CLI ``--param``) override file directives.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from ..odes import auto_rewrite, classify, find_equilibria, parse_system
+from ..odes.system import EquationSystem
+from ..synthesis import synthesize
+from ..synthesis.protocol import ProtocolSpec
+
+#: ``# param: name = value [name = value ...]`` directive lines in an
+#: equations file.  The colon is optional, but only the explicit
+#: ``# param:`` form is *required* to parse -- a colon-less line whose
+#: body is not a clean binding list is an ordinary comment that merely
+#: starts with the word "param", not a malformed directive.
+_PARAM_DIRECTIVE = re.compile(
+    r"^\s*#\s*param(?P<colon>:)?\s+(?P<body>.+)$", re.IGNORECASE
+)
+_BINDING = re.compile(
+    r"(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*=\s*"
+    r"(?P<value>[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?)"
+)
+
+
+def parse_param_directives(text: str) -> Dict[str, float]:
+    """Extract ``# param: name=value`` bindings from equations text."""
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        match = _PARAM_DIRECTIVE.match(line)
+        if not match:
+            continue
+        body = match.group("body")
+        bindings = _BINDING.findall(body)
+        leftover = _BINDING.sub("", body).replace(",", "").strip()
+        if not bindings or leftover:
+            if match.group("colon"):
+                raise ValueError(
+                    f"malformed param directive {line.strip()!r}; expected "
+                    f"'# param: name = value [name = value ...]'"
+                )
+            continue
+        for name, value in bindings:
+            out[name] = float(value)
+    return out
+
+
+@dataclass(frozen=True)
+class ResolvedProtocol:
+    """A protocol pinned to a concrete group size: ready to run."""
+
+    spec: ProtocolSpec
+    #: Initial distribution as counts summing to ``n`` (or fractions
+    #: summing to 1 -- both forms are accepted by every engine).
+    initial: Mapping[str, float]
+    n: int
+
+
+class Protocol:
+    """A handle on a protocol, however it came into existence.
+
+    Construct with one of the three classmethods --
+    :meth:`from_equations`, :meth:`named`, :meth:`from_spec` -- then
+    hand it to :class:`~repro.experiment.experiment.Experiment` (or
+    call :meth:`resolve` yourself to get the raw ``(spec, initial)``).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        resolver: Callable[[int], ResolvedProtocol],
+        *,
+        source: str,
+        system: Optional[EquationSystem] = None,
+    ):
+        self.label = label
+        #: How the handle was made: ``"equations"``, ``"named"`` or
+        #: ``"spec"``.
+        self.source = source
+        self._resolver = resolver
+        self._system = system
+        self._resolved: Dict[int, ResolvedProtocol] = {}
+        self._equilibrium: Optional[Dict[str, float]] = None
+        self._equilibrium_known = False
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Protocol({self.label!r}, source={self.source!r})"
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_equations(
+        cls,
+        source: Union[str, Path],
+        *,
+        parameters: Optional[Mapping[str, float]] = None,
+        p: Optional[float] = None,
+        failure_rate: float = 0.0,
+        tokenize: bool = True,
+        rewrite: bool = True,
+        initial: Optional[Mapping[str, float]] = None,
+        name: Optional[str] = None,
+    ) -> "Protocol":
+        """Parse + (auto-rewrite) + synthesize an equations text or file.
+
+        ``source`` is either equation text or a path to an equations
+        file (one equation per line; ``# param:`` directives supply
+        default rate bindings, overridden by ``parameters``).  When the
+        parsed system is not directly mappable and ``rewrite`` is true,
+        the Section 7 ``auto_rewrite`` pipeline is applied first.
+
+        ``initial`` fixes the starting distribution (counts or
+        fractions over the *synthesized* states).  Without it the
+        protocol starts at the system's stable equilibrium when one
+        exists (the paper's experimental convention), else with the
+        whole group in the first state and one process in the second.
+        """
+        path: Optional[Path] = None
+        if isinstance(source, Path):
+            path = source
+        elif "\n" not in source and "'" not in source:
+            try:
+                if Path(source).is_file():
+                    path = Path(source)
+            except (OSError, ValueError):
+                path = None
+        text = path.read_text() if path is not None else str(source)
+        bound = parse_param_directives(text)
+        bound.update(parameters or {})
+        label = name or (path.stem if path is not None else "equations")
+        system = parse_system(text, parameters=bound, name=label)
+        if rewrite and not classify(system).mappable:
+            system = auto_rewrite(system)
+        spec = synthesize(
+            system, p=p, failure_rate=failure_rate, tokenize=tokenize,
+            name=label,
+        )
+        explicit = dict(initial) if initial is not None else None
+
+        def resolver(n: int) -> ResolvedProtocol:
+            if explicit is not None:
+                return ResolvedProtocol(spec=spec, initial=explicit, n=n)
+            handle_initial = handle.equilibrium_fractions()
+            if handle_initial is None:
+                first, second = spec.states[0], spec.states[1]
+                handle_initial = {first: n - 1, second: 1}
+            return ResolvedProtocol(spec=spec, initial=handle_initial, n=n)
+
+        handle = cls(label, resolver, source="equations", system=system)
+        return handle
+
+    @classmethod
+    def named(cls, name: str) -> "Protocol":
+        """Resolve a campaign-registry protocol name to a handle.
+
+        The registry's builders take the group size, so resolution is
+        deferred until :meth:`resolve` is called with a concrete ``n``.
+        """
+        # Imported lazily: repro.campaign imports this module's
+        # Protocol for its own resolution path.
+        from ..campaign.registry import protocol_builder
+
+        builder = protocol_builder(name)  # fail fast on unknown names
+
+        def resolver(n: int) -> ResolvedProtocol:
+            spec, initial = builder(n)
+            return ResolvedProtocol(spec=spec, initial=initial, n=n)
+
+        return cls(name, resolver, source="named")
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: ProtocolSpec,
+        initial: Mapping[str, float],
+        *,
+        name: Optional[str] = None,
+    ) -> "Protocol":
+        """Wrap a hand-built spec plus its initial distribution."""
+        fixed = dict(initial)
+
+        def resolver(n: int) -> ResolvedProtocol:
+            return ResolvedProtocol(spec=spec, initial=fixed, n=n)
+
+        return cls(
+            name or spec.name, resolver, source="spec", system=spec.source
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(self, n: int) -> ResolvedProtocol:
+        """The ``(spec, initial counts)`` pair for a group of size ``n``."""
+        got = self._resolved.get(n)
+        if got is None:
+            got = self._resolver(n)
+            self._resolved[n] = got
+        return got
+
+    def system(self, n: int = 2) -> Optional[EquationSystem]:
+        """The mean-field ODE behind the protocol.
+
+        The source equations when the handle was built from them (or
+        the spec carries them); otherwise the spec's reconstructed
+        mean-field system.  ``n`` is only used to resolve the spec for
+        registry-named handles.
+        """
+        if self._system is not None:
+            return self._system
+        spec = self.resolve(n).spec
+        if spec.source is not None:
+            return spec.source
+        try:
+            return spec.mean_field_system(effective=False)
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------
+    # Analytic equilibrium (the closed-form reference)
+    # ------------------------------------------------------------------
+    def equilibrium_fractions(self, n: int = 2) -> Optional[Dict[str, float]]:
+        """Stable-equilibrium fractions of the source ODE, if any.
+
+        When the system has several stable equilibria the one closest
+        to the simplex barycenter is returned (``find_equilibria``
+        order).  None when no stable equilibrium exists on the simplex
+        or no mean-field system is recoverable.
+        """
+        if self._equilibrium_known:
+            return self._equilibrium
+        self._equilibrium_known = True
+        system = self.system(n)
+        if system is not None:
+            try:
+                stable = [e for e in find_equilibria(system) if e.is_stable]
+            except Exception:
+                stable = []
+            if stable:
+                self._equilibrium = {
+                    k: float(v) for k, v in stable[0].point.items()
+                }
+        return self._equilibrium
+
+    def equilibrium_counts(self, n: int) -> Optional[Dict[str, float]]:
+        """Stable-equilibrium state counts for a group of size ``n``.
+
+        Only states of the resolved spec are reported (a rewrite can
+        introduce slack variables; those are included -- they are real
+        protocol states -- but equation variables dropped by a rewrite
+        are not).
+        """
+        fractions = self.equilibrium_fractions(n)
+        if fractions is None:
+            return None
+        states = self.resolve(n).spec.states
+        return {s: fractions.get(s, 0.0) * n for s in states}

@@ -20,7 +20,10 @@ Two RNG modes trade speed against bitwise reproducibility:
 * ``mode="batch"`` (default) -- all trials draw from one root stream
   and every per-action step (actor selection, target sampling,
   connection-failure masking, token routing) is vectorized across the
-  whole batch.  Actor selection adapts to the regime: when expected
+  whole batch; peer-target sampling is additionally *fused* into one
+  ``integers`` draw per period covering every action (each period
+  plans all actor selections first, then slices the fused draw in
+  action order).  Actor selection adapts to the regime: when expected
   activity is *dense* (the Lotka-Volterra majority protocol, where
   every camp is a constant fraction of N) each member flips one
   vectorized Bernoulli coin -- distributionally identical to binomial
@@ -856,6 +859,11 @@ class BatchRoundEngine:
         # and the action's probability, so replays are deterministic.
         dense_threshold = max(4.0, m_trials / 4.0)
 
+        # Phase 1 -- actor selection for every action.  All selections
+        # observe the start-of-period snapshot (RoundEngine semantics),
+        # so no action's actors depend on another's execution and the
+        # selections can be planned up front.
+        plans: List[Tuple] = []
         for action in self._compiled:
             probability = action.probability
             if probability <= 0.0:
@@ -895,9 +903,32 @@ class BatchRoundEngine:
                     )
                     for trial in active
                 ])
+            if actors.size:
+                plans.append((action, actors))
+
+        # Phase 2 -- one fused target draw for the whole period.  Every
+        # action's peer sampling needs ``actors.size * width`` uniform
+        # draws from [0, n-1); drawing them in one ``integers`` call
+        # replaces one RNG invocation per action with one per period
+        # (the ROADMAP's ``_sample_other_flat`` fusion).  Slices are
+        # handed out in declaration order, so the draw layout is a
+        # deterministic function of the plan.
+        widths = [self._target_width(action) for action, _ in plans]
+        needs = [actors.size * w for (_, actors), w in zip(plans, widths)]
+        raw_targets = (
+            self._rng.integers(0, n - 1, size=sum(needs))
+            if any(needs) else None
+        )
+
+        # Phase 3 -- execution, in action declaration order (token
+        # delivery and the at-most-one-move rule stay sequential).
+        offset = 0
+        for (action, actors), need in zip(plans, needs):
+            raw = raw_targets[offset:offset + need] if need else None
+            offset += need
             movers, edge_from = self._execute_batch(
                 action, actors, snapshot, alive_flat, moved,
-                segments, trial_members,
+                segments, trial_members, raw,
             )
             if movers.size == 0:
                 continue
@@ -939,6 +970,15 @@ class BatchRoundEngine:
         self.last_transitions = transitions
         return transitions
 
+    @staticmethod
+    def _target_width(action) -> int:
+        """Peer draws per actor for one action (0 = no peer sampling)."""
+        if action.kind in ("sample", "tokenize"):
+            return len(action.required)
+        if action.kind in ("anyof", "push"):
+            return action.fanout
+        return 0
+
     def _execute_batch(
         self,
         action,
@@ -948,6 +988,7 @@ class BatchRoundEngine:
         moved: np.ndarray,
         segments: Callable[[int], Tuple[np.ndarray, np.ndarray]],
         trial_members: Callable[[int, int], np.ndarray],
+        raw: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, int]:
         """Run one action's sampling for the whole batch at once."""
         failure = self.connection_failure_rate
@@ -959,7 +1000,7 @@ class BatchRoundEngine:
             if width == 0:
                 fired = actors
             else:
-                targets = self._sample_other_flat(actors, width)
+                targets = self._sample_other_flat(actors, width, raw)
                 self._count_messages(actors, width)
                 ok = alive_flat[targets] & (
                     snapshot[targets] == action.required[None, :]
@@ -974,7 +1015,7 @@ class BatchRoundEngine:
             )
 
         if action.kind == "anyof":
-            targets = self._sample_other_flat(actors, action.fanout)
+            targets = self._sample_other_flat(actors, action.fanout, raw)
             self._count_messages(actors, action.fanout)
             ok = alive_flat[targets] & (snapshot[targets] == action.match)
             if failure > 0.0:
@@ -982,7 +1023,7 @@ class BatchRoundEngine:
             return actors[ok.any(axis=1)], action.edge_from
 
         if action.kind == "push":
-            targets = self._sample_other_flat(actors, action.fanout)
+            targets = self._sample_other_flat(actors, action.fanout, raw)
             self._count_messages(actors, action.fanout)
             ok = alive_flat[targets] & (snapshot[targets] == action.match)
             if failure > 0.0:
@@ -1130,15 +1171,22 @@ class BatchRoundEngine:
         taken[actors] = False
         return actors
 
-    def _sample_other_flat(self, actors: np.ndarray, k: int) -> np.ndarray:
+    def _sample_other_flat(
+        self, actors: np.ndarray, k: int, raw: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Uniform non-self targets for actors from any trial.
 
         Flat-global-id variant of :func:`repro.runtime.rng.sample_other`:
         one draw covers every trial's actors, and targets stay within
-        each actor's own trial row.
+        each actor's own trial row.  ``raw`` is this action's slice of
+        the period's fused ``integers(0, n - 1)`` draw (see
+        :meth:`step` phase 2); without it the draw happens here.
         """
         hosts = actors % self.n
-        targets = self._rng.integers(0, self.n - 1, size=(actors.size, k))
+        if raw is None:
+            targets = self._rng.integers(0, self.n - 1, size=(actors.size, k))
+        else:
+            targets = raw.reshape(actors.size, k)
         targets += targets >= hosts[:, None]
         return (actors - hosts)[:, None] + targets
 

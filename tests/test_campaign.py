@@ -80,11 +80,22 @@ class TestGridExpansion:
         assert "churn" in available_scenarios()
 
     def test_build_protocol_resolves(self):
-        spec, initial = build_protocol("lv", 500)
+        # The legacy builder-tuple entry point: shimmed onto Protocol
+        # handles, still green, but deprecated.
+        with pytest.warns(DeprecationWarning, match="build_protocol"):
+            spec, initial = build_protocol("lv", 500)
         assert spec.states == ("x", "y", "z")
         assert sum(initial.values()) == 500
-        with pytest.raises(KeyError):
-            build_protocol("nope", 10)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                build_protocol("nope", 10)
+
+    def test_resolve_protocol_handle(self):
+        from repro.campaign import resolve_protocol
+
+        resolved = resolve_protocol("lv").resolve(500)
+        assert resolved.spec.states == ("x", "y", "z")
+        assert sum(resolved.initial.values()) == 500
 
 
 class TestJsonRoundTrip:
@@ -277,6 +288,46 @@ class TestSaveTensors:
         result = run_campaign(tiny_spec())
         assert result.results[0].tensor_path is None
 
+    def test_manifest_written_and_indexes_points(self, tmp_path):
+        from repro.campaign import MANIFEST_NAME, load_manifest
+
+        spec = tiny_spec(group_sizes=[200, 300])
+        result = run_campaign(spec, save_tensors=str(tmp_path))
+        assert (tmp_path / MANIFEST_NAME).is_file()
+        manifest = load_manifest(tmp_path)
+        assert manifest["campaign"] == spec.name
+        assert manifest["spec"] == spec.to_dict()
+        assert len(manifest["points"]) == len(result.results)
+        for entry, point_result in zip(manifest["points"], result.results):
+            assert entry["label"] == point_result.point.label
+            assert entry["point"] == point_result.point.to_dict()
+            assert entry["tensor"] == point_result.tensor_path
+            assert (tmp_path / entry["tensor"]).is_file()
+            assert entry["trial_seeds"] == point_result.trial_seeds
+            assert entry["states"] == point_result.states
+            # The manifest alone suffices to reload and replay a point:
+            # no globbing of per-point npz metadata required.
+            replayed = replay_point(
+                CampaignPoint.from_dict(entry["point"])
+            )
+            with np.load(tmp_path / entry["tensor"]) as data:
+                assert np.array_equal(data["counts"], replayed)
+        assert {"created", "python", "numpy"} <= set(manifest["provenance"])
+
+    def test_manifest_created_date_pinned_by_epoch(self, tmp_path, monkeypatch):
+        from repro.campaign import load_manifest
+
+        monkeypatch.setenv("SOURCE_DATE_EPOCH", "0")
+        run_campaign(tiny_spec(), save_tensors=str(tmp_path))
+        manifest = load_manifest(tmp_path)
+        assert manifest["provenance"]["created"].startswith("1970-01-01")
+
+    def test_no_manifest_without_flag(self, tmp_path):
+        from repro.campaign import MANIFEST_NAME
+
+        run_campaign(tiny_spec())
+        assert not (tmp_path / MANIFEST_NAME).exists()
+
 
 def _stock_pull_builder(n):
     # Module-level so it pickles by reference and can ride over a
@@ -321,8 +372,8 @@ class TestRegistryExtension:
 
         registry.install_entries({"installed-pull": _stock_pull_builder}, {})
         try:
-            spec, initial = build_protocol("installed-pull", 50)
-            assert initial == {"x": 48, "y": 2}
+            resolved = registry.resolve_protocol("installed-pull").resolve(50)
+            assert resolved.initial == {"x": 48, "y": 2}
         finally:
             registry._PROTOCOLS.pop("installed-pull")
 

@@ -29,8 +29,10 @@ class TestQuickstart:
         assert "taxonomy" in out
         assert "protocol" in out
         assert "rounds to <=1 susceptible" in out
-        # The epidemic must have completed.
-        assert "{'x': 0, 'y': 10000}" in out
+        # The epidemic must have completed, in every ensemble member.
+        assert "{'x': 0.0, 'y': 10000.0}" in out
+        # The facade auto-selected the batch engine for the ensemble.
+        assert "batch engine" in out
 
 
 class TestOtherExamplesImportable:

@@ -24,6 +24,7 @@ REQUIRED_DOCS = (
     "README.md",
     "docs/architecture.md",
     "docs/campaigns.md",
+    "docs/experiment.md",
     "benchmarks/results/README.md",
 )
 
