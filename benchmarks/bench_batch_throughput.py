@@ -26,7 +26,7 @@ import time
 import numpy as np
 import pytest
 
-from bench_util import format_table, report, scaled
+from bench_util import acceptance_speedup, format_table, report, scaled
 
 from repro.protocols.endemic import EndemicParams, figure1_protocol
 from repro.runtime import (
@@ -104,6 +104,8 @@ def test_batch_throughput(run_once):
     # batch conserves the population in every trial and period.
     assert np.array_equal(tensors["lockstep"], tensors["serial"])
     assert np.all(tensors["batch"].sum(axis=2) == n)
-    # The acceptance bar: the batched ensemble is at least 3x faster
-    # than the serial trial loop.
-    assert speedup["batch"] >= 3.0, speedup
+    # The acceptance bar: the batched ensemble is at least 10x faster
+    # than the serial trial loop at paper scale (the committed artifact
+    # documents ~20x; ISSUE 4 requires it to stay >= 18x); reduced-
+    # scale smoke runs only require batch to beat serial.
+    assert speedup["batch"] >= acceptance_speedup(10.0), speedup

@@ -19,8 +19,9 @@ trials -- three ways:
   spawned seeds; the correctness bridge);
 * **batch** -- ``LVEnsemble(mode="batch")``: the vectorized path.
 
-The acceptance bar (ISSUE 2): batch >= 3x over the serial loop, with
-both paths agreeing on the accuracy estimate.
+The acceptance bar (ISSUE 4, raised from ISSUE 2's 3x): batch >= 8x
+over the serial loop at paper scale, with both paths agreeing on the
+accuracy estimate.
 """
 
 import time
@@ -28,7 +29,7 @@ import time
 import numpy as np
 import pytest
 
-from bench_util import format_table, report, scaled
+from bench_util import acceptance_speedup, format_table, report, scaled
 
 from repro.protocols.lv import (
     LVEnsemble,
@@ -96,6 +97,9 @@ def test_lv_accuracy_throughput(run_once):
     assert accuracies["serial"] == 1.0
     assert accuracies["lockstep"] == 1.0
     assert accuracies["batch"] == 1.0
-    # The acceptance bar: the batched accuracy ensemble is at least 3x
-    # faster than the serial LV accuracy loop.
-    assert speedup["batch"] >= 3.0, speedup
+    # The acceptance bar (ISSUE 4): the batched accuracy ensemble is
+    # at least 8x faster than the serial LV accuracy loop at paper
+    # scale (the multinomial planner's fused selection + analytic
+    # condition thinning); reduced-scale smoke runs only require batch
+    # to beat serial.
+    assert speedup["batch"] >= acceptance_speedup(8.0), speedup

@@ -41,6 +41,7 @@ from .campaign import (
     CampaignSpec,
     available_protocols,
     available_scenarios,
+    load_manifest,
     run_campaign,
     verify_replay,
 )
@@ -230,7 +231,7 @@ def cmd_run(args) -> int:
             scenario=None if args.scenario in (None, "none")
             else args.scenario,
             seed=args.seed, engine=args.engine, loss_rate=args.loss_rate,
-            stride=args.stride, initial=initial,
+            stride=args.stride, initial=initial, workers=args.workers,
         )
         result = experiment.run()
     except (KeyError, ValueError, TypeError) as exc:
@@ -248,6 +249,8 @@ def cmd_run(args) -> int:
     # reproduces the run.
     print(f"engine: {engine_note}  n={args.n}  trials={args.trials}  "
           f"periods={args.periods}  seed={experiment.seed}"
+          + (f"  workers={args.workers} (shards={result.shards})"
+             if args.workers > 1 else "")
           + (f"  scenario={args.scenario}"
              if args.scenario not in (None, "none") else "")
           + (f"  loss rate={args.loss_rate:g}" if args.loss_rate else ""))
@@ -279,6 +282,78 @@ def cmd_run(args) -> int:
     return 1 if (check.status == "FAIL" and not scenario_active) else 0
 
 
+def cmd_analyze_campaign(args) -> int:
+    """Offline summary tables from a campaign's saved tensors.
+
+    Loads ``manifest.json`` plus each point's compressed ``.npz``
+    (written by ``campaign --save-tensors``) and prints a per-point
+    final-count summary table -- mean / std / min / quartiles / max
+    over the trial axis -- without re-running anything.
+    """
+    directory = Path(args.tensors_dir)
+    if not directory.is_dir():
+        print(f"no such directory: {directory}", file=sys.stderr)
+        return 1
+    try:
+        manifest = load_manifest(directory)
+    except FileNotFoundError:
+        print(f"{directory} has no manifest.json (was the campaign run "
+              f"with --save-tensors?)", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError) as exc:
+        print(f"invalid manifest: {exc}", file=sys.stderr)
+        return 1
+    points = manifest.get("points", [])
+    provenance = manifest.get("provenance", {})
+    print(f"campaign {manifest.get('campaign', '?')!r}: "
+          f"{len(points)} point(s)"
+          + (f", created {provenance['created']}"
+             if "created" in provenance else ""))
+    import numpy as np
+
+    failures = 0
+    for entry in points:
+        tensor_name = entry.get("tensor")
+        label = entry.get("label", f"point {entry.get('index', '?')}")
+        print()
+        if not tensor_name:
+            print(f"{label}: no tensor recorded")
+            failures += 1
+            continue
+        path = directory / tensor_name
+        if not path.is_file():
+            print(f"{label}: missing tensor file {tensor_name}")
+            failures += 1
+            continue
+        with np.load(path) as data:
+            counts = data["counts"]          # (M, periods, S)
+            states = [str(state) for state in data["states"]]
+            periods = data["periods"]
+        trials = counts.shape[0]
+        print(f"{label}: {trials} trials x {counts.shape[1]} recorded "
+              f"periods (last period {int(periods[-1])}), "
+              f"tensor {tensor_name}")
+        final = counts[:, -1, :]
+        rows = []
+        for index, state in enumerate(states):
+            series = final[:, index]
+            q25, q50, q75 = np.quantile(series, (0.25, 0.5, 0.75))
+            rows.append((
+                state,
+                f"{series.mean():.1f}",
+                f"{series.std():.1f}",
+                f"{series.min():g}",
+                f"{q25:g}", f"{q50:g}", f"{q75:g}",
+                f"{series.max():g}",
+            ))
+        print(format_table(
+            ["state", "mean", "std", "min", "q25", "median", "q75",
+             "max"],
+            rows,
+        ))
+    return 1 if failures else 0
+
+
 def _campaign_spec_from_args(args) -> CampaignSpec:
     if args.config:
         # Grid axes come from the config file alone; rejecting axis
@@ -287,6 +362,7 @@ def _campaign_spec_from_args(args) -> CampaignSpec:
         ignored = [
             flag for flag, values in (
                 ("--protocol", args.protocol),
+                ("--equations", args.equations),
                 ("--n", args.n),
                 ("--loss-rate", args.loss_rate),
                 ("--scenario", args.scenario),
@@ -314,9 +390,10 @@ def _campaign_spec_from_args(args) -> CampaignSpec:
         if args.shards is not None:
             spec.shards = args.shards
         return spec
+    protocols = list(args.protocol) + list(args.equations)
     return CampaignSpec(
         name=args.name if args.name is not None else "campaign",
-        protocols=args.protocol or ["epidemic-pull"],
+        protocols=protocols or ["epidemic-pull"],
         group_sizes=args.n or [1000],
         loss_rates=args.loss_rate or [0.0],
         scenarios=args.scenario or ["none"],
@@ -346,6 +423,7 @@ def cmd_campaign(args) -> int:
             flag for flag, present in (
                 ("--config", bool(args.config)),
                 ("--protocol", bool(args.protocol)),
+                ("--equations", bool(args.equations)),
                 ("--n", bool(args.n)),
                 ("--loss-rate", bool(args.loss_rate)),
                 ("--scenario", bool(args.scenario)),
@@ -486,6 +564,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "default: auto)")
     p_run.add_argument("--stride", type=int, default=1,
                        help="record every stride-th period")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="processes to fan the trial axis across "
+                            "(trials split into min(workers, trials) "
+                            "campaign-style shards; the shard count is "
+                            "part of the run's stream identity)")
     p_run.add_argument("--show-protocol", action="store_true",
                        help="print the synthesized state machine")
     p_run.add_argument("--plot", action="store_true",
@@ -550,6 +633,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="campaign name (default 'campaign')")
     p_camp.add_argument("--protocol", action="append", default=[],
                         help="protocol name (repeatable; see --dry-run)")
+    p_camp.add_argument("--equations", action="append", default=[],
+                        metavar="FILE",
+                        help="equations file added to the protocol axis "
+                             "(repeatable; '# param:' directives supply "
+                             "rates; resolved via resolve_protocol)")
     p_camp.add_argument("--n", action="append", type=int, default=[],
                         help="group size (repeatable)")
     p_camp.add_argument("--loss-rate", action="append", type=float,
@@ -584,12 +672,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="re-run a stored results file and verify it "
                              "reproduces bit-for-bit")
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_analyze_campaign = sub.add_parser(
+        "analyze-campaign",
+        help="summarize a campaign's saved tensors "
+             "(manifest.json + per-point .npz) offline",
+    )
+    p_analyze_campaign.add_argument(
+        "tensors_dir",
+        help="directory written by 'campaign --save-tensors'",
+    )
+    p_analyze_campaign.set_defaults(func=cmd_analyze_campaign)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; the
+        # conventional CLI response is a quiet exit, not a traceback.
+        return 0
 
 
 if __name__ == "__main__":

@@ -10,7 +10,8 @@ before a campaign is run.
 from __future__ import annotations
 
 import warnings
-from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Tuple, Union
 
 from ..protocols.endemic import EndemicParams, figure1_protocol
 from ..protocols.epidemic import pull_protocol, push_protocol, push_pull_protocol
@@ -106,19 +107,54 @@ def protocol_builder(name: str) -> ProtocolBuilder:
         ) from None
 
 
-def resolve_protocol(name: str) -> "Protocol":
-    """Resolve a protocol name to a :class:`repro.experiment.Protocol`.
+def resolve_protocol(name: Union[str, "Protocol"]) -> "Protocol":
+    """Resolve a protocol reference to a :class:`repro.experiment.Protocol`.
 
     The canonical resolution path: campaigns and the ``run`` CLI hand
     these handles to :class:`~repro.experiment.experiment.Experiment`
     (or call ``handle.resolve(n)``) instead of unpacking raw builder
-    tuples.
+    tuples.  Accepts, in order of precedence:
+
+    * a ready :class:`~repro.experiment.protocol.Protocol` handle
+      (returned unchanged);
+    * a registered protocol name;
+    * a path to an equations file (``# param:`` directives honored) --
+      so campaign grids can sweep equations-file protocols without
+      registering them first.
     """
     # Lazy import: repro.experiment.Protocol.named resolves through
     # this registry.
     from ..experiment.protocol import Protocol
 
-    return Protocol.named(name)
+    if isinstance(name, Protocol):
+        return name
+    if name in _PROTOCOLS:
+        return Protocol.named(name)
+    if Path(name).is_file():
+        return Protocol.from_equations(Path(name))
+    raise KeyError(
+        f"unknown protocol {name!r}: neither a registered name "
+        f"(available: {available_protocols()}) nor an equations file"
+    )
+
+
+class ProtocolHandleBuilder:
+    """Adapter presenting a :class:`Protocol` handle as a registry builder.
+
+    Campaign grids that carry handle objects register them under their
+    label through this wrapper (see ``CampaignSpec.expand``), so points
+    stay plain name-referencing data.  Picklability follows the
+    handle's resolver: file- and registry-born handles ship to pool
+    workers; closure-built ones fall back to the serial path with the
+    usual warning.
+    """
+
+    def __init__(self, handle: "Protocol"):
+        self.handle = handle
+
+    def __call__(self, n: int) -> Tuple[ProtocolSpec, Mapping[str, float]]:
+        resolved = self.handle.resolve(n)
+        return resolved.spec, resolved.initial
 
 
 def build_protocol(name: str, n: int) -> Tuple[ProtocolSpec, Mapping[str, float]]:

@@ -40,16 +40,12 @@ import numpy as np
 
 from ..experiment.scenario import Scenario
 from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
-from ..runtime.rng import spawn_seeds
+from ..runtime.parallel import shard_layout
 from .grid import CampaignPoint, CampaignSpec
 from .registry import custom_entries, install_entries, resolve_protocol
 
 #: Quantiles reported in point summaries.
 SUMMARY_QUANTILES = (0.25, 0.5, 0.75)
-
-#: Entropy domain separating shard seed families from everything else
-#: (scenario streams use their own domain in the registry).
-_SHARD_DOMAIN = 0x51A4
 
 
 @dataclass
@@ -159,21 +155,21 @@ def _composite_hook_factory(point: CampaignPoint) -> Callable[[int], Callable]:
 def _shard_points(point: CampaignPoint) -> List[CampaignPoint]:
     """Split a point's trial axis into independently seeded shards.
 
-    Each shard is a plain single-shard point with its own seed (spawned
-    from ``(point.seed, _SHARD_DOMAIN)``) and an even slice of the
-    trials, so it can run anywhere :func:`run_point` runs.  The split
-    depends only on the point, which is what makes sharded runs
-    replayable.
+    Each shard is a plain single-shard point with its own seed and an
+    even slice of the trials, so it can run anywhere :func:`run_point`
+    runs.  The decomposition is :func:`repro.runtime.parallel.shard_layout`
+    -- the same ``(seed, SHARD_DOMAIN)``-spawned discipline the
+    engine-level :class:`~repro.runtime.parallel.ShardedBatchExecutor`
+    uses -- and depends only on the point, which is what makes sharded
+    runs replayable.
     """
     if point.shards <= 1:
         return [point]
-    base, extra = divmod(point.trials, point.shards)
-    sizes = [base + (1 if k < extra else 0) for k in range(point.shards)]
-    seeds = spawn_seeds((point.seed, _SHARD_DOMAIN), point.shards)
     return [
         replace(point, trials=size, seed=shard_seed, shards=1)
-        for size, shard_seed in zip(sizes, seeds)
-        if size > 0
+        for size, shard_seed in shard_layout(
+            point.seed, point.trials, point.shards
+        )
     ]
 
 

@@ -32,6 +32,7 @@ from typing import Mapping, Optional, Union
 
 from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
 from ..runtime.metrics import MetricsRecorder
+from ..runtime.parallel import ShardedBatchExecutor
 from ..runtime.round_engine import RoundEngine
 from ..runtime.rng import spawn_seeds
 from .protocol import Protocol
@@ -78,6 +79,18 @@ class Experiment:
     initial:
         Override the protocol handle's initial distribution (counts
         summing to ``n`` or fractions summing to 1).
+    workers:
+        Processes to fan the trial axis across (default 1).  With
+        ``workers > 1`` the batch/lockstep tiers run through
+        :class:`~repro.runtime.parallel.ShardedBatchExecutor`: the
+        trials split into ``min(workers, trials)`` campaign-style
+        shards (seed family spawned from ``(seed, SHARD_DOMAIN)``) and
+        the recorders merge integer-exactly, so a sharded run is
+        bitwise reproducible for a fixed ``(seed, workers)`` and
+        identical whether the shards actually ran pooled or serially.
+        Note the *shard count* is part of the stream identity: results
+        differ from the unsharded ``workers=1`` run (exactly as
+        campaign ``--shards`` documents).  The serial tier ignores it.
     """
 
     def __init__(
@@ -95,6 +108,7 @@ class Experiment:
         record_transitions: bool = True,
         member_log_state: Optional[str] = None,
         initial: Optional[Mapping[str, float]] = None,
+        workers: int = 1,
     ):
         if isinstance(protocol, str):
             protocol = Protocol.named(protocol)
@@ -112,6 +126,8 @@ class Experiment:
             raise ValueError(f"trials must be >= 1, got {trials}")
         if periods < 1:
             raise ValueError(f"periods must be >= 1, got {periods}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.protocol = protocol
         self.n = n
         self.trials = trials
@@ -128,6 +144,7 @@ class Experiment:
         self.record_transitions = record_transitions
         self.member_log_state = member_log_state
         self.initial = dict(initial) if initial is not None else None
+        self.workers = workers
 
     # ------------------------------------------------------------------
     # Engine selection
@@ -203,19 +220,45 @@ class Experiment:
 
     def _run_batched(self, spec, initial, engine_name: str) -> ExperimentResult:
         context = self.context()
+        mode = engine_name if engine_name == "lockstep" else "batch"
+        hook_factories = (
+            [self.scenario.hook_factory(context)] if self.scenario else ()
+        )
+        shards = min(self.workers, self.trials)
+        if shards > 1:
+            executor = ShardedBatchExecutor(
+                spec, n=self.n, trials=self.trials, initial=initial,
+                seed=self.seed,
+                connection_failure_rate=self.loss_rate,
+                mode=mode, shards=shards, workers=self.workers,
+            )
+            outcome = executor.run(
+                self.periods,
+                stride=self.stride,
+                track_transitions=self.record_transitions,
+                member_log_state=self.member_log_state,
+                hook_factories=hook_factories,
+            )
+            return ExperimentResult(
+                spec=spec, n=self.n, trials=self.trials,
+                periods=self.periods,
+                engine=engine_name, trial_seeds=list(outcome.trial_seeds),
+                elapsed_seconds=0.0,
+                protocol=self.protocol,
+                scenario=self.scenario.label if self.scenario else None,
+                recorder=outcome.recorder,
+                shards=shards,
+            )
         engine = BatchRoundEngine(
             spec, n=self.n, trials=self.trials, initial=initial,
             seed=self.seed, connection_failure_rate=self.loss_rate,
-            mode=engine_name if engine_name == "lockstep" else "batch",
+            mode=mode,
         )
         recorder = BatchMetricsRecorder(
             spec.states, self.trials,
             track_transitions=self.record_transitions,
             member_log_state=self.member_log_state,
             stride=self.stride,
-        )
-        hook_factories = (
-            [self.scenario.hook_factory(context)] if self.scenario else ()
         )
         engine.run(
             self.periods, recorder=recorder, hook_factories=hook_factories

@@ -153,6 +153,7 @@ class ExperimentResult:
         scenario: Optional[str] = None,
         recorder: Optional[BatchMetricsRecorder] = None,
         trial_recorders: Optional[List[MetricsRecorder]] = None,
+        shards: int = 1,
     ):
         if (recorder is None) == (trial_recorders is None):
             raise ValueError(
@@ -169,6 +170,11 @@ class ExperimentResult:
         self.scenario = scenario
         self.recorder = recorder
         self.trial_recorders = trial_recorders
+        #: Trial-axis shard count the run executed with (1 = unsharded).
+        #: Part of the batch stream's identity: replaying a sharded run
+        #: bit for bit requires the same shard count (see
+        #: :class:`repro.runtime.parallel.ShardedBatchExecutor`).
+        self.shards = shards
         if trial_recorders is not None:
             first = trial_recorders[0].times
             for other in trial_recorders[1:]:

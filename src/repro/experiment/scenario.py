@@ -138,17 +138,43 @@ class Scenario:
         """A batch-engine ``hook_factories`` entry for this scenario.
 
         Returns one composite hook per trial, so multi-hook scenarios
-        fit the single-factory slot.
+        fit the single-factory slot.  The factory is a plain object
+        (not a closure), so named scenarios can cross process
+        boundaries -- :class:`~repro.runtime.parallel.ShardedBatchExecutor`
+        ships it to pool workers whenever the underlying builder
+        pickles (registry builders are module-level functions and do).
         """
-        seeds = self.trial_seeds(context)
+        return ScenarioHookFactory(self, context)
 
-        def factory(trial: int) -> Callable:
-            hooks = self.hooks_for(context, trial, seeds[trial])
 
-            def composite(view) -> None:
-                for hook in hooks:
-                    hook(view)
+class _CompositeHook:
+    """One per-trial hook running a scenario's hook list in order."""
 
-            return composite
+    def __init__(self, hooks: List[Callable]):
+        self._hooks = hooks
 
-        return factory
+    def __call__(self, view) -> None:
+        for hook in self._hooks:
+            hook(view)
+
+
+class ScenarioHookFactory:
+    """Picklable per-trial hook factory for one scenario + context.
+
+    Trial indices are *global* (0..trials-1): the scenario seed family
+    is derived once from the context, so the hooks a trial receives are
+    identical whether the ensemble runs in one engine or sharded
+    across processes.
+    """
+
+    def __init__(self, scenario: Scenario, context: RunContext):
+        self._scenario = scenario
+        self._context = context
+        self._seeds = scenario.trial_seeds(context)
+
+    def __call__(self, trial: int) -> Callable:
+        return _CompositeHook(
+            self._scenario.hooks_for(
+                self._context, trial, self._seeds[trial]
+            )
+        )

@@ -42,6 +42,8 @@ from .membership import FullMembership, PartialMembership
 from .metrics import MetricsRecorder, WindowStats
 from .network import ContactFailed, LatencyModel, Network
 from .overlay import erdos_renyi_overlay, log_degree, overlay_stats, random_regular_overlay
+from .parallel import SHARD_DOMAIN, ShardedBatchExecutor, ShardedRunResult, shard_layout
+from .planner import ActionPlanner, PlannedAction, TrialMemberPools
 from .rng import RandomSource, make_generator, sample_other, spawn_seeds
 from .round_engine import RoundEngine, RunResult, initial_state_vector
 
@@ -54,6 +56,13 @@ __all__ = [
     "BatchTrialView",
     "segmented_choice",
     "serial_ensemble",
+    "ActionPlanner",
+    "PlannedAction",
+    "TrialMemberPools",
+    "ShardedBatchExecutor",
+    "ShardedRunResult",
+    "shard_layout",
+    "SHARD_DOMAIN",
     "initial_state_vector",
     "AgentSimulation",
     "Environment",

@@ -20,22 +20,24 @@ Two RNG modes trade speed against bitwise reproducibility:
 * ``mode="batch"`` (default) -- all trials draw from one root stream
   and every per-action step (actor selection, target sampling,
   connection-failure masking, token routing) is vectorized across the
-  whole batch; peer-target sampling is additionally *fused* into one
-  ``integers`` draw per period covering every action (each period
-  plans all actor selections first, then slices the fused draw in
-  action order).  Actor selection adapts to the regime: when expected
-  activity is *dense* (the Lotka-Volterra majority protocol, where
-  every camp is a constant fraction of N) each member flips one
-  vectorized Bernoulli coin -- distributionally identical to binomial
-  thinning plus a uniform without-replacement pick -- and when it is
-  *sparse* (heavily tails-weighted coins like the endemic protocol's
-  alpha ~ 1e-6) binomial thinning plus per-trial draws skips the batch
-  scan entirely.  Exact per-trial draw counts (token routing) go
-  through :func:`segmented_choice`, a segmented without-replacement
-  sampler.  Per-state member lists are maintained *incrementally* for
-  sparse-population states (the population-protocol simulation idiom).
-  Trials are statistically independent and distributionally identical
-  to M serial runs, but not draw-for-draw equal to them.
+  whole batch.  Each period is *planned* first
+  (:class:`~repro.runtime.planner.ActionPlanner`): one broadcast
+  multinomial draw splits every (trial, state) occupancy across that
+  state's actions plus the no-op remainder, one selection pass per
+  state picks the winning actors (dense states share a single
+  rejection-probe loop over host ids; sparse regimes like the endemic
+  protocol's alpha ~ 1e-6 coin keep per-trial scans; exact per-trial
+  draw counts go through :func:`segmented_choice`, a segmented
+  without-replacement sampler), and the selection is partitioned
+  across the state's actions.  Peer-target sampling is fused into one
+  ``integers`` draw per period covering every action.  Per-state
+  member lists are maintained *incrementally* for sparse-population
+  states (the population-protocol simulation idiom).  Trials are
+  statistically independent, with per-action marginals identical to M
+  serial runs; actors fire at most one action of their state per
+  period (the paper's multi-way coin), where the serial engine flips
+  independent per-action coins -- the two agree to the ``O((p c)^2)``
+  conflict order the normalizing constant bounds.
 * ``mode="lockstep"`` -- M embedded :class:`RoundEngine` instances
   seeded with :func:`~repro.runtime.rng.spawn_seeds` trial seeds.
   Each trial is *bitwise identical* to a serial ``RoundEngine`` run
@@ -67,6 +69,7 @@ import numpy as np
 
 from ..synthesis.protocol import ProtocolSpec
 from .metrics import MetricsRecorder
+from .planner import ActionPlanner, TrialMemberPools, _action_width
 from .round_engine import RoundEngine, _compile, initial_state_vector
 from .rng import RandomSource, spawn_seeds
 
@@ -264,6 +267,78 @@ class BatchMetricsRecorder:
             self.member_log.append(
                 (period, [np.array(m, copy=True) for m in members])
             )
+
+    # ------------------------------------------------------------------
+    # Merging (trial-sharded execution)
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(
+        cls, parts: Sequence["BatchMetricsRecorder"]
+    ) -> "BatchMetricsRecorder":
+        """Concatenate shard recorders along the trial axis, exactly.
+
+        The merge behind :class:`repro.runtime.parallel.ShardedBatchExecutor`:
+        per recorded period the shards' ``(M_k, S)`` count matrices (and
+        alive vectors, transition matrices, member logs) concatenate in
+        shard order -- integer concatenation, no arithmetic -- so the
+        merged recorder is bitwise independent of how the shards were
+        scheduled.  All parts must agree on states, stride, recording
+        schedule and tracking configuration.
+        """
+        if not parts:
+            raise ValueError("cannot merge zero recorders")
+        first = parts[0]
+        for other in parts[1:]:
+            if other.states != first.states:
+                raise ValueError("shard recorders disagree on states")
+            if other.periods != first.periods:
+                raise ValueError(
+                    "shard recorders disagree on the recording schedule"
+                )
+            if (other.track_transitions != first.track_transitions
+                    or other.member_log_state != first.member_log_state
+                    or other.stride != first.stride):
+                raise ValueError(
+                    "shard recorders disagree on tracking configuration"
+                )
+        merged = cls(
+            first.states,
+            sum(p.trials for p in parts),
+            track_transitions=first.track_transitions,
+            member_log_state=first.member_log_state,
+            stride=first.stride,
+        )
+        merged.periods = list(first.periods)
+        merged._counts = [
+            np.concatenate([p._counts[i] for p in parts], axis=0)
+            for i in range(len(first.periods))
+        ]
+        merged._alive = [
+            np.concatenate([p._alive[i] for p in parts])
+            for i in range(len(first.periods))
+        ]
+        if first.track_transitions:
+            zeros = [np.zeros(p.trials, dtype=np.int64) for p in parts]
+            for i in range(len(first.periods)):
+                edges: List[Edge] = []
+                for p in parts:
+                    for edge in p._transitions[i]:
+                        if edge not in edges:
+                            edges.append(edge)
+                merged._transitions.append({
+                    edge: np.concatenate([
+                        p._transitions[i].get(edge, zeros[k])
+                        for k, p in enumerate(parts)
+                    ])
+                    for edge in edges
+                })
+        if first.member_log_state is not None:
+            for i, (period, _) in enumerate(first.member_log):
+                merged.member_log.append((
+                    period,
+                    [m for p in parts for m in p.member_log[i][1]],
+                ))
+        return merged
 
     # ------------------------------------------------------------------
     # Tensors
@@ -542,27 +617,28 @@ class BatchRoundEngine:
         self._alive_counts = np.full(trials, n, dtype=np.int64)
         self._total_messages = np.zeros(trials, dtype=np.int64)
 
-        # Incremental membership: states whose member lists are worth
-        # maintaining across periods (population small relative to the
-        # batch) map to flat arrays of *global* ids ``trial * n + host``
-        # holding exactly the alive members.  Everything else is
-        # scanned lazily per period.  ``_referenced`` are the states
-        # whose member lists actions can ask for.
-        self._member_cap = max(4096, (trials * n) // 8)
-        # Scratch for the dense-state rejection sampler (see
-        # _sample_dense_actors): a "position already drawn" mask kept
-        # all-False between calls, and a last-writer slot array used to
-        # break intra-round collisions (never reset: it is always
-        # written before it is read).  Allocated lazily on first use so
-        # sparse-regime protocols never pay the 9 bytes per host.
-        self._taken: Optional[np.ndarray] = None
-        self._slot: Optional[np.ndarray] = None
-        self._members: Dict[int, np.ndarray] = {}
+        # The per-period action planner (one multinomial split per
+        # state, fused dense probing; see repro.runtime.planner) plus
+        # the period-scoped scratch buffers it and step() reuse -- the
+        # hot path makes no per-period O(M * N) allocations.
+        self._planner = ActionPlanner(
+            self._compiled, trials, n,
+            connection_failure_rate=connection_failure_rate,
+        )
+        self._moved_buf: Optional[np.ndarray] = None
+        self._counts0_buf = np.empty_like(self._counts)
+        # Incremental membership: every state whose members actions can
+        # ask for (actor states, token states) keeps per-trial member
+        # pools with O(movers) swap-delete maintenance -- the planner
+        # probes them directly and the segment lookups read them
+        # without re-scanning the batch.
         self._referenced = {a.actor for a in self._compiled}
         self._referenced.update(
             a.token_state for a in self._compiled if a.kind == "tokenize"
         )
-        self._retune_membership()
+        self._pools = TrialMemberPools(
+            sorted(self._referenced), trials, n, self._states_flat
+        )
 
     # ------------------------------------------------------------------
     # Introspection (both modes)
@@ -652,14 +728,9 @@ class BatchRoundEngine:
             old_states, minlength=len(self.state_names)
         )
         self._alive_counts[trial] -= newly.size
-        if self._members:
-            gids = newly.astype(np.int64) + trial * self.n
-            for sid, arr in self._members.items():
-                gone = gids[old_states == sid]
-                if gone.size:
-                    self._members[sid] = arr[
-                        ~np.isin(arr, gone, assume_unique=True)
-                    ]
+        gids = newly.astype(np.int64) + trial * self.n
+        for sid in self._pools.slots:
+            self._pools.remove(sid, gids[old_states == sid])
 
     def _crash_fraction(self, trial: int, fraction: float) -> np.ndarray:
         if not 0.0 <= fraction <= 1.0:
@@ -689,9 +760,7 @@ class BatchRoundEngine:
         self.states[trial, revived] = sid
         self._counts[trial, sid] += revived.size
         self._alive_counts[trial] += revived.size
-        if sid in self._members:
-            gids = revived.astype(np.int64) + trial * self.n
-            self._members[sid] = np.concatenate([self._members[sid], gids])
+        self._pools.add(sid, revived.astype(np.int64) + trial * self.n)
         if self._alive_counts.sum() == self.alive.size:
             self._any_dead = False
 
@@ -717,35 +786,13 @@ class BatchRoundEngine:
                 )
                 self._counts[trial, sid] += keep.size
                 gids = keep.astype(np.int64) + trial * self.n
-                for tracked, arr in list(self._members.items()):
-                    gone = gids[old_states == tracked]
-                    if gone.size:
-                        self._members[tracked] = arr[
-                            ~np.isin(arr, gone, assume_unique=True)
-                        ]
-                if sid in self._members:
-                    self._members[sid] = np.concatenate(
-                        [self._members[sid], gids]
-                    )
+                for tracked in self._pools.slots:
+                    if tracked != sid:
+                        self._pools.remove(tracked, gids[old_states == tracked])
+                self._pools.add(sid, gids)
         # Dead hosts carry the new state but stay out of counts and
         # membership, exactly like RoundEngine.set_states.
         self.states[trial, hosts] = sid
-
-    # ------------------------------------------------------------------
-    # Membership bookkeeping (batch mode)
-    # ------------------------------------------------------------------
-    def _retune_membership(self) -> None:
-        """Start/stop incremental tracking as populations cross the cap."""
-        totals = self._counts.sum(axis=0)
-        for sid in list(self._members):
-            if totals[sid] > self._member_cap:
-                del self._members[sid]
-        for sid in self._referenced:
-            if sid not in self._members and totals[sid] <= self._member_cap // 2:
-                mask = self._states_flat == sid
-                if self._any_dead:
-                    mask &= self._alive_flat
-                self._members[sid] = np.flatnonzero(mask)
 
     def _validate_consistency(self) -> None:
         """Debug invariant check: counts and members match the arrays."""
@@ -763,12 +810,22 @@ class BatchRoundEngine:
         assert np.array_equal(
             self._alive_counts, self.alive.sum(axis=1)
         ), "alive counts out of sync"
-        for sid, arr in self._members.items():
+        for sid in self._pools.slots:
             mask = self._states_flat == sid
             mask &= self._alive_flat
             expected_ids = np.flatnonzero(mask)
-            if not np.array_equal(np.sort(arr), expected_ids):
-                raise AssertionError(f"member list of state {sid} out of sync")
+            grouped, bounds = self._pools.grouped(sid)
+            if not np.array_equal(np.sort(grouped), expected_ids):
+                raise AssertionError(f"member pool of state {sid} out of sync")
+            pos = self._pools.pos[grouped]
+            slot = self._pools.slots[sid]
+            if not np.array_equal(
+                self._pools.pool[slot].reshape(-1)[
+                    (grouped // self.n) * self.n + pos
+                ],
+                grouped,
+            ):
+                raise AssertionError(f"pool index of state {sid} out of sync")
 
     # ------------------------------------------------------------------
     # The batched synchronous round
@@ -778,10 +835,25 @@ class BatchRoundEngine:
         if self.mode == "lockstep":
             return self._step_lockstep()
         m_trials, n = self.trials, self.n
-        snapshot = self._states_flat.copy()
+        # All period reads (peer checks, member lookups) must observe
+        # the start-of-period state; state writes are deferred to the
+        # end of the period, so the live array IS that snapshot and no
+        # O(M * N) copy is needed.
+        snapshot = self._states_flat
         alive_flat = self._alive_flat
-        moved = np.zeros(m_trials * n, dtype=bool)
-        counts0 = self._counts.copy()
+        if self._planner.disjoint_movers:
+            # Every planned mover is a distinct actor (see
+            # ActionPlanner.disjoint_movers), so the at-most-one-move
+            # mask would never filter anything: skip it entirely.
+            moved = None
+        else:
+            if self._moved_buf is None:
+                self._moved_buf = np.zeros(m_trials * n, dtype=bool)
+            # Kept all-False between periods: the touched entries are
+            # reset from the mover batches at the end of the period.
+            moved = self._moved_buf
+        counts0 = self._counts0_buf
+        np.copyto(counts0, self._counts)
         transitions: Dict[Edge, np.ndarray] = {}
         member_adds: Dict[int, List[np.ndarray]] = {}
         member_removes: Dict[int, List[np.ndarray]] = {}
@@ -791,26 +863,17 @@ class BatchRoundEngine:
         def segments(sid: int) -> Tuple[np.ndarray, np.ndarray]:
             """Period-start alive members of one state, grouped by trial.
 
-            Returns ``(grouped, bounds)``: global ids sorted by trial
-            (within-trial order preserved) and the ``(M + 1,)`` offsets
+            Returns ``(grouped, bounds)``: global ids grouped by trial
+            (within-trial order arbitrary) and the ``(M + 1,)`` offsets
             of each trial's slice -- the layout ``segmented_choice``
-            consumes.  One grouping pass per state per period serves
-            every action and token route this period.  Costs O(M * N)
-            for untracked (dense) states; the sparse code paths below
-            avoid calling it when expected activity is low.
+            consumes.  Pooled states (every state actions reference)
+            gather their member pools in O(members); the scan fallback
+            exists only for non-referenced states.
             """
             got = segment_cache.get(sid)
             if got is None:
-                tracked = self._members.get(sid)
-                if tracked is not None:
-                    keys = tracked // n
-                    order = np.argsort(keys, kind="stable")
-                    got = (
-                        tracked[order],
-                        np.searchsorted(
-                            keys[order], np.arange(m_trials + 1)
-                        ),
-                    )
+                if sid in self._pools.slots:
+                    got = self._pools.grouped(sid)
                 else:
                     mask = snapshot == sid
                     if self._any_dead:
@@ -828,14 +891,13 @@ class BatchRoundEngine:
         def trial_members(trial: int, sid: int) -> np.ndarray:
             """Period-start alive members of one trial, as global ids.
 
-            The sparse-regime lookup: tracked states slice the shared
-            grouping, untracked states scan only this trial's row, so a
-            period with one or two active trials never touches the full
-            ``(M, N)`` array.
+            The sparse-regime lookup: pooled states return their pool
+            row view in O(1); non-referenced states scan only this
+            trial's row, so a period with one or two active trials
+            never touches the full ``(M, N)`` array.
             """
-            if sid in self._members:
-                grouped, bounds = segments(sid)
-                return grouped[bounds[trial]:bounds[trial + 1]]
+            if sid in self._pools.slots:
+                return self._pools.members(sid, trial)
             key = (trial, sid)
             got = scan_cache.get(key)
             if got is None:
@@ -847,64 +909,19 @@ class BatchRoundEngine:
                 scan_cache[key] = got
             return got
 
-        # A sub-1.0-probability action fires a Binomial(count, p) number
-        # of actors per trial, chosen uniformly without replacement.
-        # When the expected number of heads across the batch is large
-        # (the dense LV regime) that choice runs through
-        # ``segmented_choice`` -- one vectorized draw for all trials.
-        # When it is small (sparse regimes like the endemic protocol's
-        # alpha ~ 1e-6 coin) the per-trial fast path skips the O(M * N)
-        # member grouping entirely and only the few active trials pay
-        # for a scan.  The switch depends only on period-start counts
-        # and the action's probability, so replays are deterministic.
-        dense_threshold = max(4.0, m_trials / 4.0)
-
-        # Phase 1 -- actor selection for every action.  All selections
-        # observe the start-of-period snapshot (RoundEngine semantics),
-        # so no action's actors depend on another's execution and the
-        # selections can be planned up front.
-        plans: List[Tuple] = []
-        for action in self._compiled:
-            probability = action.probability
-            if probability <= 0.0:
-                continue
-            actor_counts = counts0[:, action.actor]
-            total_actors = int(actor_counts.sum())
-            if total_actors == 0:
-                continue
-            if probability >= 1.0:
-                actors = segments(action.actor)[0]
-            elif probability * total_actors >= dense_threshold:
-                heads = self._rng.binomial(actor_counts, probability)
-                if not heads.any():
-                    continue
-                if (total_actors * 8 >= m_trials * n
-                        and np.all(heads * 4 <= actor_counts)):
-                    # The state holds >= 1/8 of the batch: probing host
-                    # ids directly beats materializing the member list.
-                    actors = self._sample_dense_actors(
-                        action.actor, heads, actor_counts,
-                        snapshot, alive_flat,
-                    )
-                else:
-                    grouped, group_bounds = segments(action.actor)
-                    actors = segmented_choice(
-                        self._rng, grouped, group_bounds, heads
-                    )
-            else:
-                heads = self._rng.binomial(actor_counts, probability)
-                active = np.flatnonzero(heads)
-                if active.size == 0:
-                    continue
-                actors = np.concatenate([
-                    self._rng.choice(
-                        trial_members(int(trial), action.actor),
-                        size=int(heads[trial]), replace=False,
-                    )
-                    for trial in active
-                ])
-            if actors.size:
-                plans.append((action, actors))
+        # Phase 1 -- actor selection for every action, via the fused
+        # per-state multinomial planner (repro.runtime.planner): one
+        # multinomial split per state across its actions, one selection
+        # pass per state (dense states share a single rejection-probe
+        # loop), partitioned across the winning actions.  All
+        # selections observe the start-of-period snapshot (RoundEngine
+        # semantics), so no action's actors depend on another's
+        # execution; strategy switches depend only on period-start
+        # counts and prior draws, so replays are deterministic.
+        plans, period_messages = self._planner.plan(
+            self._rng, counts0, self._pools, segments, trial_members,
+        )
+        self._total_messages += period_messages
 
         # Phase 2 -- one fused target draw for the whole period.  Every
         # action's peer sampling needs ``actors.size * width`` uniform
@@ -913,8 +930,14 @@ class BatchRoundEngine:
         # (the ROADMAP's ``_sample_other_flat`` fusion).  Slices are
         # handed out in declaration order, so the draw layout is a
         # deterministic function of the plan.
-        widths = [self._target_width(action) for action, _ in plans]
-        needs = [actors.size * w for (_, actors), w in zip(plans, widths)]
+        widths = [
+            0 if entry.prefired else self._target_width(entry.action)
+            for entry in plans
+        ]
+        needs = [
+            entry.actors.size * width
+            for entry, width in zip(plans, widths)
+        ]
         raw_targets = (
             self._rng.integers(0, n - 1, size=sum(needs))
             if any(needs) else None
@@ -922,21 +945,33 @@ class BatchRoundEngine:
 
         # Phase 3 -- execution, in action declaration order (token
         # delivery and the at-most-one-move rule stay sequential).
+        deferred_writes: List[Tuple[np.ndarray, int]] = []
         offset = 0
-        for (action, actors), need in zip(plans, needs):
+        for entry, need in zip(plans, needs):
+            action = entry.action
             raw = raw_targets[offset:offset + need] if need else None
             offset += need
-            movers, edge_from = self._execute_batch(
-                action, actors, snapshot, alive_flat, moved,
-                segments, trial_members, raw,
-            )
+            if entry.tokens is not None:
+                movers, edge_from = self._deliver_tokens_counts(
+                    action, entry.tokens, moved, segments, trial_members
+                )
+            elif entry.prefired:
+                # The planner already applied the action's interaction
+                # condition analytically: the actors ARE the movers.
+                movers, edge_from = entry.actors, action.edge_from
+            else:
+                movers, edge_from = self._execute_batch(
+                    action, entry.actors, snapshot, alive_flat, moved,
+                    segments, trial_members, raw,
+                )
             if movers.size == 0:
                 continue
-            movers = movers[~moved[movers]]
-            if movers.size == 0:
-                continue
-            moved[movers] = True
-            self._states_flat[movers] = action.target
+            if moved is not None:
+                movers = movers[~moved[movers]]
+                if movers.size == 0:
+                    continue
+                moved[movers] = True
+            deferred_writes.append((movers, action.target))
             per_trial = np.bincount(movers // n, minlength=m_trials)
             self._counts[:, edge_from] -= per_trial
             self._counts[:, action.target] += per_trial
@@ -950,34 +985,28 @@ class BatchRoundEngine:
             member_removes.setdefault(edge_from, []).append(movers)
             member_adds.setdefault(action.target, []).append(movers)
 
-        # Membership deltas are applied only now: during the period all
-        # member lookups must observe the start-of-period snapshot,
-        # matching RoundEngine's semantics.
-        for sid, chunks in member_removes.items():
-            arr = self._members.get(sid)
-            if arr is not None:
-                gone = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-                self._members[sid] = arr[
-                    ~np.isin(arr, gone, assume_unique=True)
-                ]
-        for sid, chunks in member_adds.items():
-            if sid in self._members:
-                self._members[sid] = np.concatenate(
-                    [self._members[sid]] + chunks
-                )
-        self._retune_membership()
+        # State writes, the moved-mask reset and the membership deltas
+        # are applied only now: during the period every lookup must
+        # observe the start-of-period snapshot, matching RoundEngine's
+        # semantics.
+        for movers, target in deferred_writes:
+            self._states_flat[movers] = target
+            if moved is not None:
+                moved[movers] = False
+        self._pools.apply_deltas(member_removes, member_adds)
         self.period += 1
         self.last_transitions = transitions
         return transitions
 
     @staticmethod
     def _target_width(action) -> int:
-        """Peer draws per actor for one action (0 = no peer sampling)."""
-        if action.kind in ("sample", "tokenize"):
-            return len(action.required)
-        if action.kind in ("anyof", "push"):
-            return action.fanout
-        return 0
+        """Peer draws per actor for one action (0 = no peer sampling).
+
+        The same rule the planner's message accounting uses -- one
+        definition, so the fused target-draw sizing can never
+        desynchronize from the per-period message tally.
+        """
+        return _action_width(action)
 
     def _execute_batch(
         self,
@@ -985,12 +1014,16 @@ class BatchRoundEngine:
         actors: np.ndarray,
         snapshot: np.ndarray,
         alive_flat: np.ndarray,
-        moved: np.ndarray,
+        moved: Optional[np.ndarray],
         segments: Callable[[int], Tuple[np.ndarray, np.ndarray]],
         trial_members: Callable[[int, int], np.ndarray],
         raw: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, int]:
-        """Run one action's sampling for the whole batch at once."""
+        """Run one action's sampling for the whole batch at once.
+
+        Message accounting happens once per period from the planner's
+        split counts (see :meth:`ActionPlanner.plan`), not here.
+        """
         failure = self.connection_failure_rate
         if action.kind == "flip":
             return actors, action.edge_from
@@ -999,12 +1032,19 @@ class BatchRoundEngine:
             width = len(action.required)
             if width == 0:
                 fired = actors
+            elif width == 1 and failure == 0.0:
+                # Flat fast path: one peer, no loss -- skip the 2D
+                # reshape and the axis reduction.
+                targets = self._sample_other_flat(actors, 1, raw).reshape(-1)
+                ok = snapshot[targets] == action.required[0]
+                if self._any_dead:
+                    ok &= alive_flat[targets]
+                fired = actors[ok]
             else:
                 targets = self._sample_other_flat(actors, width, raw)
-                self._count_messages(actors, width)
-                ok = alive_flat[targets] & (
-                    snapshot[targets] == action.required[None, :]
-                )
+                ok = snapshot[targets] == action.required[None, :]
+                if self._any_dead:
+                    ok &= alive_flat[targets]
                 if failure > 0.0:
                     ok &= self._rng.random(targets.shape) >= failure
                 fired = actors[ok.all(axis=1)]
@@ -1016,16 +1056,18 @@ class BatchRoundEngine:
 
         if action.kind == "anyof":
             targets = self._sample_other_flat(actors, action.fanout, raw)
-            self._count_messages(actors, action.fanout)
-            ok = alive_flat[targets] & (snapshot[targets] == action.match)
+            ok = snapshot[targets] == action.match
+            if self._any_dead:
+                ok &= alive_flat[targets]
             if failure > 0.0:
                 ok &= self._rng.random(targets.shape) >= failure
             return actors[ok.any(axis=1)], action.edge_from
 
         if action.kind == "push":
             targets = self._sample_other_flat(actors, action.fanout, raw)
-            self._count_messages(actors, action.fanout)
-            ok = alive_flat[targets] & (snapshot[targets] == action.match)
+            ok = snapshot[targets] == action.match
+            if self._any_dead:
+                ok &= alive_flat[targets]
             if failure > 0.0:
                 ok &= self._rng.random(targets.shape) >= failure
             converted = np.unique(targets[ok])
@@ -1047,16 +1089,33 @@ class BatchRoundEngine:
         delivers ``min(tokens[m], pool[m])`` tokens), so the dense path
         runs through :func:`segmented_choice`.  When only a handful of
         trials fired a token, the per-trial loop is kept instead: it
-        scans just those trials' rows, which is cheaper than grouping an
-        untracked token state across the whole batch.
+        reads just those trials' pool rows, which is cheaper than
+        gathering the token state's full batch-wide grouping.
+        """
+        if fired.size == 0:
+            return np.empty(0, dtype=np.int64), action.edge_from
+        tokens = np.bincount(fired // self.n, minlength=self.trials)
+        return self._deliver_tokens_counts(
+            action, tokens, moved, segments, trial_members
+        )
+
+    def _deliver_tokens_counts(
+        self,
+        action,
+        tokens: np.ndarray,
+        moved: Optional[np.ndarray],
+        segments: Callable[[int], Tuple[np.ndarray, np.ndarray]],
+        trial_members: Callable[[int, int], np.ndarray],
+    ) -> Tuple[np.ndarray, int]:
+        """Route ``tokens[m]`` fired tokens per trial to the token state.
+
+        The counts-based core of :meth:`_deliver_tokens_batch`: the
+        planner's thinned tokenize path lands here directly, since
+        token routing never needs the firing actors' identities.
         """
         empty = np.empty(0, dtype=np.int64)
-        if fired.size == 0:
-            return empty, action.edge_from
-        tokens = np.bincount(fired // self.n, minlength=self.trials)
         active = np.flatnonzero(tokens)
-        if (action.token_state not in self._members
-                and active.size <= max(1, self.trials // 4)):
+        if active.size <= max(1, self.trials // 4):
             chunks: List[np.ndarray] = []
             for trial in active:
                 pool = trial_members(int(trial), action.token_state)
@@ -1099,78 +1158,6 @@ class BatchRoundEngine:
         bounds = np.concatenate([[0], np.cumsum(sizes)])
         return segmented_choice(self._rng, pool, bounds, take), action.edge_from
 
-    def _sample_dense_actors(
-        self,
-        sid: int,
-        heads: np.ndarray,
-        actor_counts: np.ndarray,
-        snapshot: np.ndarray,
-        alive_flat: np.ndarray,
-    ) -> np.ndarray:
-        """Draw ``heads[m]`` distinct members of ``sid`` per trial.
-
-        Dense-state rejection sampling: each trial probes uniform host
-        ids in its own row and keeps those that are in the state (alive,
-        not yet drawn), oversampling by the inverse acceptance estimate
-        so nearly every deficit resolves in the first round; leftovers
-        redraw.  Callers gate on density >= 1/8 and take <= 1/4 of the
-        state, so acceptance is bounded below and the number of random
-        draws stays proportional to ``heads.sum()`` -- not to M * N and
-        not to the state's population, which is what makes a 3% coin on
-        a 60%-dense state cheap.  Keeping the first ``heads[m]`` valid
-        probes in draw order is sequential uniform sampling without
-        replacement, i.e. the ``segmented_choice`` distribution on the
-        same member lists.
-        """
-        n = self.n
-        if self._taken is None:
-            self._taken = np.zeros(self.trials * n, dtype=bool)
-            self._slot = np.zeros(self.trials * n, dtype=np.int64)
-        taken, slot = self._taken, self._slot
-        # Acceptance is at least (members - take) / n per probe;
-        # oversample by its inverse (x1.5, +8) so round one almost
-        # always finishes the trial.
-        inverse_acceptance = n / np.maximum(actor_counts - heads, 1)
-        need = heads.astype(np.int64).copy()
-        chunks: List[np.ndarray] = []
-        while True:
-            active = np.flatnonzero(need)
-            if active.size == 0:
-                break
-            draws = (
-                (need[active] * inverse_acceptance[active] * 1.5)
-                .astype(np.int64) + 8
-            )
-            candidates = np.repeat(active * n, draws) + self._rng.integers(
-                0, n, int(draws.sum()), dtype=np.int64
-            )
-            ok = snapshot[candidates] == sid
-            if self._any_dead:
-                ok &= alive_flat[candidates]
-            ok &= ~taken[candidates]
-            index = np.flatnonzero(ok)
-            good = candidates[index]
-            # Duplicate probes of one position within this round: the
-            # last writer wins, the rest are dropped (they are surplus
-            # -- the deficit recount below redraws if needed).
-            slot[good] = index
-            winners = good[slot[good] == index]
-            # Winners are in draw order and therefore trial-grouped;
-            # keep each trial's first need[m] of them.
-            winner_trials = winners // n
-            winner_counts = np.bincount(winner_trials, minlength=self.trials)
-            starts = np.concatenate(
-                [[0], np.cumsum(winner_counts)[:-1]]
-            )
-            rank = np.arange(winners.size) - starts[winner_trials]
-            kept = winners[rank < need[winner_trials]]
-            taken[kept] = True
-            chunks.append(kept)
-            need -= np.bincount(kept // n, minlength=self.trials)
-        actors = np.sort(np.concatenate(chunks))
-        taken[actors] = False
-        return actors
-
     def _sample_other_flat(
         self, actors: np.ndarray, k: int, raw: Optional[np.ndarray] = None
     ) -> np.ndarray:
@@ -1189,11 +1176,6 @@ class BatchRoundEngine:
             targets = raw.reshape(actors.size, k)
         targets += targets >= hosts[:, None]
         return (actors - hosts)[:, None] + targets
-
-    def _count_messages(self, actors: np.ndarray, k: int) -> None:
-        self._total_messages += k * np.bincount(
-            actors // self.n, minlength=self.trials
-        )
 
     def _step_lockstep(self) -> Dict[Edge, np.ndarray]:
         transitions: Dict[Edge, np.ndarray] = {}

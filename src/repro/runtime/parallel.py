@@ -1,0 +1,320 @@
+"""Process-parallel trial-sharded execution of batch ensembles.
+
+The batch engine vectorizes the trial axis inside one process; this
+module fans it out *across* processes.  An M-trial ensemble splits into
+campaign-style shards -- independently seeded sub-ensembles whose seed
+family is spawned from ``(seed, SHARD_DOMAIN)``, exactly the discipline
+``repro.campaign`` uses for ``--shards`` -- each shard runs its own
+:class:`~repro.runtime.batch_engine.BatchRoundEngine`, and the shard
+recorders merge integer-exactly along the trial axis.  Because the
+shard decomposition depends only on ``(seed, trials, shards)`` and the
+merge is pure concatenation in shard order, the result is **bitwise
+identical** however the shards are scheduled: one process, K workers,
+or a later replay.
+
+With ``shards == 1`` the executor degenerates to a plain
+:class:`BatchRoundEngine` seeded with the root seed (no spawn), so
+single-shard runs reproduce unsharded ones bit for bit -- again the
+campaign's convention.
+
+This is the engine-level sibling of campaign ``--shards``: campaigns
+parallelize across grid points and shards of points, while
+:class:`ShardedBatchExecutor` gives a *single* experiment (via
+``Experiment(..., workers=K)`` / ``python -m repro run --workers``)
+the same multi-core scaling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..synthesis.protocol import ProtocolSpec
+from .batch_engine import BatchMetricsRecorder, BatchRoundEngine, HookFactory
+from .rng import spawn_seeds
+
+__all__ = [
+    "SHARD_DOMAIN",
+    "ShardedBatchExecutor",
+    "ShardedRunResult",
+    "shard_layout",
+]
+
+#: Entropy domain separating shard seed families from everything else.
+#: Shared with the campaign runner (one discipline, one constant), so
+#: an executor shard and a campaign shard rooted at the same seed see
+#: identical seed families.
+SHARD_DOMAIN = 0x51A4
+
+
+def shard_layout(
+    seed: Optional[int], trials: int, shards: int
+) -> List[Tuple[int, Optional[int]]]:
+    """The deterministic ``(trials, seed)`` decomposition of an ensemble.
+
+    Trials split as evenly as possible (earlier shards take the
+    remainder); shard seeds are spawned from ``(seed, SHARD_DOMAIN)``.
+    A single shard keeps the root seed untouched, so ``shards == 1``
+    is bitwise-equal to not sharding at all.  The layout depends only
+    on ``(seed, trials, shards)`` -- never on worker count -- which is
+    what makes sharded runs reproducible and schedule-independent.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not 1 <= shards <= trials:
+        raise ValueError(
+            f"shards must lie in [1, trials={trials}], got {shards}"
+        )
+    if shards == 1:
+        return [(trials, seed)]
+    base, extra = divmod(trials, shards)
+    sizes = [base + (1 if k < extra else 0) for k in range(shards)]
+    # An unseeded layout draws fresh OS entropy (SeedSequence rejects
+    # None inside an entropy tuple, and there is no deterministic
+    # family to domain-separate from anyway); such a run is not
+    # replayable -- record the engines' trial seeds if that matters.
+    entropy = None if seed is None else (seed, SHARD_DOMAIN)
+    seeds = spawn_seeds(entropy, shards)
+    return [
+        (size, shard_seed)
+        for size, shard_seed in zip(sizes, seeds)
+        if size > 0
+    ]
+
+
+@dataclass
+class _ShardJob:
+    """Everything one worker needs to run one shard (picklable)."""
+
+    spec: ProtocolSpec
+    n: int
+    trials: int
+    initial: Dict[str, float]
+    seed: Optional[int]
+    connection_failure_rate: float
+    mode: str
+    periods: int
+    stride: int
+    track_transitions: bool
+    member_log_state: Optional[str]
+    record_initial: bool
+    hook_factories: Tuple[HookFactory, ...]
+    trial_offset: int
+
+
+class _OffsetHookFactory:
+    """Rebase a global-trial hook factory onto a shard's local indices.
+
+    Executor hook factories are indexed by *global* trial (0..M-1), so
+    scenario seed families and trial-dependent faults are identical
+    however the ensemble is sharded; each shard wraps them with its
+    trial offset.  A plain top-level class so jobs stay picklable.
+    """
+
+    def __init__(self, factory: HookFactory, offset: int):
+        self._factory = factory
+        self._offset = offset
+
+    def __call__(self, trial: int):
+        return self._factory(self._offset + trial)
+
+
+def _run_shard(job: _ShardJob):
+    """Worker entry point: run one shard, return its raw outcome."""
+    engine = BatchRoundEngine(
+        job.spec,
+        n=job.n,
+        trials=job.trials,
+        initial=job.initial,
+        seed=job.seed,
+        connection_failure_rate=job.connection_failure_rate,
+        mode=job.mode,
+    )
+    recorder = BatchMetricsRecorder(
+        engine.state_names,
+        job.trials,
+        track_transitions=job.track_transitions,
+        member_log_state=job.member_log_state,
+        stride=job.stride,
+    )
+    engine.run(
+        job.periods,
+        recorder=recorder,
+        hook_factories=[
+            _OffsetHookFactory(factory, job.trial_offset)
+            for factory in job.hook_factories
+        ],
+        record_initial=job.record_initial,
+    )
+    return (
+        recorder,
+        list(engine.trial_seeds),
+        engine.counts_matrix(),
+        engine.alive_counts(),
+        np.asarray(engine.total_messages),
+    )
+
+
+def _run_indexed_shard(args):
+    index, job = args
+    return index, _run_shard(job)
+
+
+@dataclass
+class ShardedRunResult:
+    """Merged outcome of a sharded ensemble run.
+
+    Everything is ordered along the concatenated trial axis (shard 0's
+    trials first), matching :attr:`trial_seeds`.
+    """
+
+    recorder: BatchMetricsRecorder
+    trial_seeds: List[int]
+    shard_seeds: List[Optional[int]]
+    shard_sizes: List[int]
+    final_counts_matrix: np.ndarray    # (M, S) int64
+    final_alive: np.ndarray            # (M,) int64
+    total_messages: np.ndarray         # (M,) int64
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_sizes)
+
+
+class ShardedBatchExecutor:
+    """Run one batch ensemble as campaign-style shards, optionally pooled.
+
+    Parameters
+    ----------
+    spec, n, trials, initial, seed, connection_failure_rate, mode:
+        As for :class:`~repro.runtime.batch_engine.BatchRoundEngine`.
+    shards:
+        Number of independently seeded sub-ensembles (defaults to
+        ``min(workers, trials)``).  Part of the run's identity: the
+        same ``(seed, trials, shards)`` always yields the same merged
+        tensors, regardless of ``workers``.
+    workers:
+        Processes to fan the shards across (1 = run them serially in
+        this process -- same bits, no pool).
+
+    Hook factories passed to :meth:`run` are indexed by *global* trial,
+    so scenarios inject identical faults however the ensemble is
+    sharded.  Unpicklable hook factories (closures, lambdas) force a
+    serial in-process run with a warning instead of failing inside the
+    pool -- the results are bitwise the same either way.
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        n: int,
+        trials: int,
+        initial: Mapping[str, float],
+        seed: Optional[int] = None,
+        connection_failure_rate: float = 0.0,
+        mode: str = "batch",
+        shards: Optional[int] = None,
+        workers: int = 1,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if mode not in ("batch", "lockstep"):
+            raise ValueError(
+                f"mode must be 'batch' or 'lockstep', got {mode!r}"
+            )
+        self.spec = spec
+        self.n = n
+        self.trials = trials
+        self.initial = dict(initial)
+        self.seed = seed
+        self.connection_failure_rate = connection_failure_rate
+        self.mode = mode
+        self.workers = workers
+        self.shards = shards if shards is not None else min(workers, trials)
+        #: The deterministic decomposition (validates ``shards`` too).
+        self.layout = shard_layout(seed, trials, self.shards)
+
+    def run(
+        self,
+        periods: int,
+        *,
+        stride: int = 1,
+        track_transitions: bool = True,
+        member_log_state: Optional[str] = None,
+        hook_factories: Sequence[HookFactory] = (),
+        record_initial: bool = True,
+    ) -> ShardedRunResult:
+        """Run every shard and merge the recorders integer-exactly."""
+        jobs: List[_ShardJob] = []
+        offset = 0
+        for size, shard_seed in self.layout:
+            jobs.append(_ShardJob(
+                spec=self.spec,
+                n=self.n,
+                trials=size,
+                initial=self.initial,
+                seed=shard_seed,
+                connection_failure_rate=self.connection_failure_rate,
+                mode=self.mode,
+                periods=periods,
+                stride=stride,
+                track_transitions=track_transitions,
+                member_log_state=member_log_state,
+                record_initial=record_initial,
+                hook_factories=tuple(hook_factories),
+                trial_offset=offset,
+            ))
+            offset += size
+
+        fan_out = self.workers > 1 and len(jobs) > 1
+        if fan_out:
+            try:
+                pickle.dumps(jobs)
+            except Exception:
+                warnings.warn(
+                    "sharded run has unpicklable hook factories; running "
+                    f"the {len(jobs)} shards serially in-process instead "
+                    f"of on {self.workers} workers (results are bitwise "
+                    "identical either way)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                fan_out = False
+
+        outputs: List = [None] * len(jobs)
+        if fan_out:
+            with multiprocessing.Pool(
+                processes=min(self.workers, len(jobs))
+            ) as pool:
+                for index, output in pool.imap_unordered(
+                    _run_indexed_shard, list(enumerate(jobs))
+                ):
+                    outputs[index] = output
+        else:
+            for index, job in enumerate(jobs):
+                outputs[index] = _run_shard(job)
+
+        recorders = [o[0] for o in outputs]
+        return ShardedRunResult(
+            recorder=BatchMetricsRecorder.merge(recorders),
+            trial_seeds=[s for o in outputs for s in o[1]],
+            shard_seeds=[seed for _, seed in self.layout],
+            shard_sizes=[size for size, _ in self.layout],
+            final_counts_matrix=np.concatenate(
+                [o[2] for o in outputs], axis=0
+            ),
+            final_alive=np.concatenate([o[3] for o in outputs]),
+            total_messages=np.concatenate([o[4] for o in outputs]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ShardedBatchExecutor({self.spec.name!r}, n={self.n}, "
+            f"trials={self.trials}, shards={self.shards}, "
+            f"workers={self.workers}, mode={self.mode!r})"
+        )

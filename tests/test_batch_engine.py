@@ -37,6 +37,21 @@ from repro.runtime.rng import make_generator
 from repro.synthesis import FlipAction, ProtocolSpec, TokenizeAction, synthesize
 
 
+def token_spec():
+    """A synthesized protocol with a tokenized term (-0.4xy in z')."""
+    from repro.odes.system import build_system
+
+    return synthesize(build_system(
+        "token-demo",
+        ["x", "y", "z"],
+        {
+            "x": [(-0.3, {"x": 1}), (0.4, {"x": 1, "y": 1})],
+            "y": [(0.3, {"x": 1}), (-0.5, {"y": 1})],
+            "z": [(0.5, {"y": 1}), (-0.4, {"x": 1, "y": 1})],
+        },
+    ))
+
+
 def serial_tensor(spec, n, trials, initial, periods, seed, **kwargs):
     """Count tensor of M serial RoundEngine runs with spawned seeds."""
     recorders, seeds = serial_ensemble(
@@ -77,6 +92,15 @@ class TestLockstepExactness:
             200,
             lambda n: {"x": int(0.6 * n), "y": n - int(0.6 * n), "z": 0},
             30,
+        ),
+        (
+            # Token routing: the delivery path (exact per-trial draw
+            # counts) must stay bit-identical to serial as well.
+            "token",
+            token_spec,
+            300,
+            lambda n: {"x": n // 2, "y": n // 4, "z": n - n // 2 - n // 4},
+            25,
         ),
     ]
 

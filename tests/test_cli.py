@@ -114,3 +114,83 @@ class TestAnalyze:
         ])
         assert code == 0
         assert "trajectory" in capsys.readouterr().out
+
+
+class TestAnalyzeCampaign:
+    def run_campaign_with_tensors(self, tmp_path):
+        tensors = tmp_path / "tensors"
+        assert main([
+            "campaign", "--protocol", "lv", "--n", "200", "--trials", "3",
+            "--periods", "5", "--seed", "6",
+            "--save-tensors", str(tensors),
+        ]) == 0
+        return tensors
+
+    def test_summarizes_saved_tensors(self, tmp_path, capsys):
+        tensors = self.run_campaign_with_tensors(tmp_path)
+        capsys.readouterr()
+        assert main(["analyze-campaign", str(tensors)]) == 0
+        out = capsys.readouterr().out
+        assert "1 point(s)" in out
+        assert "lv/n=200/f=0/none" in out
+        assert "median" in out
+        # Every protocol state appears as a table row.
+        for state in ("x", "y", "z"):
+            assert f"\n{state} " in out
+
+    def test_missing_manifest(self, tmp_path, capsys):
+        assert main(["analyze-campaign", str(tmp_path)]) == 1
+        assert "manifest.json" in capsys.readouterr().err
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert main(["analyze-campaign", str(tmp_path / "nope")]) == 1
+        assert "no such directory" in capsys.readouterr().err
+
+
+class TestRunWorkers:
+    def test_run_with_workers(self, capsys):
+        # endemic starts at its closed-form equilibrium, so the final
+        # equilibrium check passes and the exit status stays 0.
+        assert main([
+            "run", "endemic", "--n", "400", "--trials", "4",
+            "--periods", "10", "--seed", "3", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "workers=2 (shards=2)" in out
+        assert "ensemble trajectory summary" in out
+
+
+class TestCampaignEquationsAxis:
+    def test_equations_axis_runs_and_replays(self, equations_file, tmp_path,
+                                             capsys):
+        # Bind the rates via '# param:' directives so the file is
+        # self-contained (the campaign axis takes no --param flags).
+        from pathlib import Path
+
+        text = Path(equations_file).read_text()
+        bound = tmp_path / "bound.txt"
+        bound.write_text(
+            "# param: beta = 4 gamma = 1.0 alpha = 0.01\n" + text
+        )
+        out_file = tmp_path / "results.json"
+        assert main([
+            "campaign", "--equations", str(bound), "--n", "300",
+            "--trials", "2", "--periods", "5", "--seed", "8",
+            "--out", str(out_file),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "--replay", str(out_file)]) == 0
+        assert "reproduced bit-for-bit" in capsys.readouterr().out
+
+    def test_equations_conflicts_with_config(self, equations_file, tmp_path,
+                                             capsys):
+        config = tmp_path / "spec.json"
+        config.write_text(
+            '{"name": "c", "protocols": ["lv"], "group_sizes": [200],'
+            ' "loss_rates": [0.0], "scenarios": ["none"]}'
+        )
+        assert main([
+            "campaign", "--config", str(config),
+            "--equations", equations_file,
+        ]) == 1
+        assert "--equations" in capsys.readouterr().err

@@ -1,0 +1,218 @@
+"""Tests for trial-sharded execution (repro.runtime.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.experiment import Experiment, Protocol
+from repro.protocols.lv import lv_protocol
+from repro.runtime import (
+    BatchMetricsRecorder,
+    BatchRoundEngine,
+    MassiveFailure,
+    ShardedBatchExecutor,
+    shard_layout,
+)
+
+
+SPEC = lv_protocol(p=0.01)
+INITIAL = {"x": 120, "y": 80, "z": 0}
+
+
+def run_sharded(trials, shards, workers, seed=42, periods=25, **kwargs):
+    executor = ShardedBatchExecutor(
+        SPEC, n=200, trials=trials, initial=INITIAL, seed=seed,
+        shards=shards, workers=workers,
+    )
+    return executor.run(periods, **kwargs)
+
+
+class TestShardLayout:
+    def test_single_shard_keeps_root_seed(self):
+        assert shard_layout(7, 10, 1) == [(10, 7)]
+
+    def test_split_is_even_and_deterministic(self):
+        layout = shard_layout(7, 10, 3)
+        assert [size for size, _ in layout] == [4, 3, 3]
+        assert layout == shard_layout(7, 10, 3)
+        # Shard seeds are domain-spawned: none equals the root.
+        assert all(seed != 7 for _, seed in layout)
+
+    def test_matches_campaign_discipline(self):
+        """Executor shards and campaign shards share one seed family."""
+        from repro.campaign.grid import CampaignPoint
+        from repro.campaign.runner import _shard_points
+
+        point = CampaignPoint(
+            protocol="lv", n=200, loss_rate=0.0, scenario="none",
+            trials=10, periods=5, seed=7, shards=3,
+        )
+        campaign_shards = _shard_points(point)
+        layout = shard_layout(7, 10, 3)
+        assert [(p.trials, p.seed) for p in campaign_shards] == layout
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_layout(0, 5, 6)
+        with pytest.raises(ValueError):
+            shard_layout(0, 5, 0)
+        with pytest.raises(ValueError):
+            shard_layout(0, 0, 1)
+
+
+class TestBitwiseEquality:
+    @pytest.mark.parametrize("trials", [1, 7, 64])
+    def test_pooled_equals_serial(self, trials):
+        """Worker count never changes the merged tensors."""
+        shards = min(3, trials)
+        serial = run_sharded(trials, shards, workers=1)
+        pooled = run_sharded(trials, shards, workers=3)
+        assert serial.trial_seeds == pooled.trial_seeds
+        assert np.array_equal(
+            serial.recorder.count_tensor(), pooled.recorder.count_tensor()
+        )
+        assert np.array_equal(
+            serial.final_counts_matrix, pooled.final_counts_matrix
+        )
+        assert np.array_equal(
+            serial.total_messages, pooled.total_messages
+        )
+
+    def test_single_shard_equals_plain_engine(self):
+        outcome = run_sharded(7, shards=1, workers=4)
+        engine = BatchRoundEngine(
+            SPEC, n=200, trials=7, initial=INITIAL, seed=42
+        )
+        recorder = BatchMetricsRecorder(SPEC.states, 7)
+        engine.run(25, recorder=recorder)
+        assert outcome.trial_seeds == list(engine.trial_seeds)
+        assert np.array_equal(
+            outcome.recorder.count_tensor(), recorder.count_tensor()
+        )
+
+    def test_workers_exceeding_trials(self):
+        executor = ShardedBatchExecutor(
+            SPEC, n=200, trials=2, initial=INITIAL, seed=1, workers=8
+        )
+        assert executor.shards == 2
+        outcome = executor.run(10)
+        assert outcome.recorder.count_tensor().shape[0] == 2
+
+    def test_lockstep_shards(self):
+        serial = ShardedBatchExecutor(
+            SPEC, n=200, trials=5, initial=INITIAL, seed=3,
+            mode="lockstep", shards=2, workers=1,
+        ).run(10)
+        pooled = ShardedBatchExecutor(
+            SPEC, n=200, trials=5, initial=INITIAL, seed=3,
+            mode="lockstep", shards=2, workers=2,
+        ).run(10)
+        assert np.array_equal(
+            serial.recorder.count_tensor(), pooled.recorder.count_tensor()
+        )
+
+
+class TestHooksAcrossShards:
+    def test_global_trial_indexing(self):
+        """A factory keyed on the global trial index sees 0..M-1."""
+        trials = 6
+
+        def factory(trial):
+            # Crash a trial-dependent fraction so shards are
+            # distinguishable: trial m loses m/10 of its hosts.
+            return MassiveFailure(at_period=2, fraction=trial / 10.0)
+
+        outcome = run_sharded(
+            trials, shards=3, workers=1, hook_factories=[factory],
+        )
+        alive = outcome.recorder.alive_tensor()[:, -1]
+        expected = [round(200 * (1 - m / 10.0)) for m in range(trials)]
+        assert list(alive) == expected
+
+    def test_unpicklable_hooks_fall_back_serially(self):
+        factory = lambda trial: MassiveFailure(at_period=2, fraction=0.5)
+        with pytest.warns(RuntimeWarning, match="unpicklable"):
+            pooled = run_sharded(
+                6, shards=3, workers=3, hook_factories=[factory],
+            )
+        serial = run_sharded(
+            6, shards=3, workers=1, hook_factories=[factory],
+        )
+        assert np.array_equal(
+            serial.recorder.count_tensor(), pooled.recorder.count_tensor()
+        )
+
+
+class TestMergedRecorder:
+    def test_transitions_and_members_merge(self):
+        outcome = run_sharded(
+            5, shards=2, workers=1, track_transitions=True,
+            member_log_state="y",
+        )
+        recorder = outcome.recorder
+        assert recorder.trials == 5
+        # Transition tensors exist for the eroding edges and line up
+        # with the count deltas per trial.
+        edges = recorder.edges_seen()
+        assert ("x", "z") in edges
+        tensor = recorder.transition_tensor(("x", "z"))
+        assert tensor.shape[0] == 5
+        # Member logs concatenate in trial order.
+        period, members = recorder.member_log[0]
+        assert len(members) == 5
+        log0 = recorder.trial_member_log(0)
+        assert log0[0][0] == period
+
+    def test_merge_rejects_mismatched_parts(self):
+        a = BatchMetricsRecorder(("x", "y"), 2)
+        b = BatchMetricsRecorder(("x", "z"), 2)
+        with pytest.raises(ValueError, match="states"):
+            BatchMetricsRecorder.merge([a, b])
+        with pytest.raises(ValueError, match="zero"):
+            BatchMetricsRecorder.merge([])
+
+
+class TestExperimentWorkers:
+    def test_reproducible_and_annotated(self):
+        protocol = Protocol.named("lv")
+        first = Experiment(
+            protocol, n=200, trials=6, periods=15, seed=9, workers=3
+        ).run()
+        second = Experiment(
+            protocol, n=200, trials=6, periods=15, seed=9, workers=3
+        ).run()
+        assert first.shards == 3
+        assert np.array_equal(first.count_tensor(), second.count_tensor())
+        assert first.trial_seeds == second.trial_seeds
+
+    def test_scenario_seeds_are_shard_invariant(self):
+        """A named scenario injects identical faults however sharded."""
+        protocol = Protocol.named("lv")
+        sharded = Experiment(
+            protocol, n=200, trials=6, periods=12, seed=9, workers=3,
+            scenario="massive-failure",
+        ).run()
+        # massive-failure crashes half the hosts at periods // 2 in
+        # every trial; the alive tensor must show it in all 6 trials.
+        alive = sharded.alive_tensor()
+        assert np.all(alive[:, -1] == 100)
+
+    def test_serial_tier_ignores_workers(self):
+        protocol = Protocol.named("lv")
+        result = Experiment(
+            protocol, n=200, trials=1, periods=10, seed=4, workers=8
+        ).run()
+        assert result.engine == "serial"
+        assert result.shards == 1
+
+
+class TestUnseededLayout:
+    def test_unseeded_sharded_layout_works(self):
+        layout = shard_layout(None, 6, 3)
+        assert [size for size, _ in layout] == [2, 2, 2]
+        assert all(isinstance(seed, int) for _, seed in layout)
+
+    def test_unseeded_executor_runs(self):
+        outcome = ShardedBatchExecutor(
+            SPEC, n=200, trials=4, initial=INITIAL, workers=2
+        ).run(5)
+        assert outcome.recorder.count_tensor().shape == (4, 6, 3)

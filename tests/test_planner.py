@@ -1,0 +1,387 @@
+"""Tests for the fused multinomial action planner (repro.runtime.planner).
+
+The planner's contract is distributional: per-action marginals must
+match the serial engine's independent-coin law -- ``Binomial(count,
+p)`` actors for unconditioned flips, ``Binomial(count, p * q)`` movers
+for condition-thinned kinds (``q`` the exact peer-match probability) --
+while actors of one state fire at most one action per period (the
+multinomial split).  All stochastic assertions are z-tests per
+``tests/statutil.py``.
+"""
+
+import numpy as np
+import pytest
+
+from statutil import assert_binomial_count
+
+from repro.protocols.lv import lv_protocol
+from repro.runtime import BatchRoundEngine, RoundEngine, TrialMemberPools
+from repro.runtime.planner import ActionPlanner
+from repro.runtime.round_engine import _compile
+from repro.synthesis.actions import FlipAction, SampleAction
+from repro.synthesis.protocol import ProtocolSpec
+
+
+def flip_spec(probabilities=(0.1, 0.2, 0.3)):
+    """One state with several unconditioned flips to distinct targets."""
+    states = ["a"] + [f"t{i}" for i in range(len(probabilities))]
+    actions = [
+        FlipAction(
+            actor_state="a", probability=p, target_state=f"t{i}"
+        )
+        for i, p in enumerate(probabilities)
+    ]
+    return ProtocolSpec(
+        name="flip-split", states=tuple(states), actions=tuple(actions),
+    )
+
+
+def reset_all(engine, counts):
+    """Force every trial back to an exact per-state layout."""
+    bounds = np.cumsum([0] + [c for _, c in counts])
+    hosts = np.arange(engine.n)
+    for view in engine.trial_views():
+        for (state, _), lo, hi in zip(counts, bounds[:-1], bounds[1:]):
+            view.set_states(hosts[lo:hi], state)
+
+
+class TestMultinomialSplit:
+    def test_marginals_match_per_action_binomials(self):
+        """Each flip's movers are Binomial(count, p) marginally."""
+        probabilities = (0.1, 0.2, 0.3)
+        spec = flip_spec(probabilities)
+        n, trials, periods = 1_000, 4, 150
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials, initial={"a": n}, seed=11
+        )
+        totals = np.zeros(len(probabilities))
+        layout = [("a", n)]
+        for _ in range(periods):
+            reset_all(engine, layout)
+            transitions = engine.step()
+            for i in range(len(probabilities)):
+                edge = ("a", f"t{i}")
+                if edge in transitions:
+                    totals[i] += transitions[edge].sum()
+        draws = n * trials * periods
+        for i, p in enumerate(probabilities):
+            assert_binomial_count(
+                totals[i], draws, p,
+                comparisons=len(probabilities),
+                context=f"flip {i} marginal",
+            )
+
+    def test_split_is_exclusive(self):
+        """Movers of one period never exceed the state's occupancy."""
+        spec = flip_spec((0.4, 0.4))
+        n, trials = 500, 3
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials, initial={"a": n}, seed=5
+        )
+        for _ in range(30):
+            reset_all(engine, [("a", n)])
+            transitions = engine.step()
+            per_trial = sum(transitions.values())
+            assert np.all(per_trial <= n)
+            engine._validate_consistency()
+
+    def test_disjoint_movers_flag(self):
+        assert BatchRoundEngine(
+            flip_spec(), n=100, trials=2, initial={"a": 100}, seed=0
+        )._planner.disjoint_movers
+        assert BatchRoundEngine(
+            lv_protocol(), n=100, trials=2,
+            initial={"x": 60, "y": 40, "z": 0}, seed=0,
+        )._planner.disjoint_movers
+
+
+class TestConditionThinning:
+    def test_lv_mover_marginals_match_analytic_law(self):
+        """Batch x->z movers are Binomial(c_x, 3p * c_y/(n-1))."""
+        n, trials, periods = 2_000, 4, 120
+        zeros, ones = 1_200, 800
+        spec = lv_protocol(p=0.01)
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials,
+            initial={"x": zeros, "y": ones, "z": 0}, seed=21,
+        )
+        total = 0
+        layout = [("x", zeros), ("y", ones), ("z", 0)]
+        for _ in range(periods):
+            reset_all(engine, layout)
+            transitions = engine.step()
+            total += int(transitions.get(("x", "z"),
+                                         np.zeros(trials)).sum())
+        q = ones / (n - 1)
+        assert_binomial_count(
+            total, zeros * trials * periods, 0.03 * q,
+            context="thinned x->z movers",
+        )
+
+    def test_serial_engine_shares_the_same_law(self):
+        """The analytic law is the serial engine's, not a new one."""
+        n, periods = 2_000, 250
+        zeros, ones = 1_200, 800
+        spec = lv_protocol(p=0.01)
+        engine = RoundEngine(
+            spec, n=n, initial={"x": zeros, "y": ones, "z": 0}, seed=22
+        )
+        hosts = np.arange(n)
+        total = 0
+        for _ in range(periods):
+            engine.set_states(hosts[:zeros], "x")
+            engine.set_states(hosts[zeros:], "y")
+            transitions = engine.step()
+            total += transitions.get(("x", "z"), 0)
+        q = ones / (n - 1)
+        assert_binomial_count(
+            total, zeros * periods, 0.03 * q,
+            context="serial x->z movers",
+        )
+
+    def test_loss_rate_folds_into_thinning(self):
+        """A lossy network scales the mover law by (1 - f)."""
+        n, trials, periods = 2_000, 4, 150
+        zeros, ones = 1_200, 800
+        loss = 0.5
+        spec = lv_protocol(p=0.01)
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials,
+            initial={"x": zeros, "y": ones, "z": 0}, seed=23,
+            connection_failure_rate=loss,
+        )
+        total = 0
+        layout = [("x", zeros), ("y", ones), ("z", 0)]
+        for _ in range(periods):
+            reset_all(engine, layout)
+            transitions = engine.step()
+            total += int(transitions.get(("x", "z"),
+                                         np.zeros(trials)).sum())
+        q = (1.0 - loss) * ones / (n - 1)
+        assert_binomial_count(
+            total, zeros * trials * periods, 0.03 * q,
+            context="lossy thinned x->z movers",
+        )
+
+    def test_empty_condition_state_short_circuits(self):
+        """Trials whose condition state is extinct produce no movers."""
+        spec = lv_protocol(p=0.01)
+        n, trials = 400, 3
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials, initial={"x": n, "y": 0, "z": 0},
+            seed=7,
+        )
+        for _ in range(20):
+            assert engine.step() == {}
+        assert np.array_equal(engine.counts("x"), np.full(trials, n))
+
+    def test_messages_charge_unthinned_heads(self):
+        """Senders pay for contacts even when nobody can convert."""
+        spec = lv_protocol(p=0.01)
+        n, trials, periods = 1_000, 4, 200
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials, initial={"x": n, "y": 0, "z": 0},
+            seed=8,
+        )
+        for _ in range(periods):
+            engine.step()
+        # Every x actor flips a 3% coin and samples one peer on heads.
+        total = int(np.asarray(engine.total_messages).sum())
+        assert_binomial_count(
+            total, n * trials * periods, 0.03,
+            context="messages from unfireable trials",
+        )
+
+
+class TestIndependentCoinFallback:
+    def spec(self):
+        # Probabilities summing over 1 cannot be one multinomial: the
+        # planner must fall back to independent per-action coins.
+        return ProtocolSpec(
+            name="over-unit", states=("a", "b", "c"),
+            actions=(
+                FlipAction(actor_state="a", probability=0.7,
+                           target_state="b"),
+                FlipAction(actor_state="a", probability=0.6,
+                           target_state="c"),
+            ),
+        )
+
+    def test_fallback_marginals(self):
+        n, trials, periods = 500, 4, 150
+        engine = BatchRoundEngine(
+            self.spec(), n=n, trials=trials, initial={"a": n}, seed=13
+        )
+        assert not engine._planner.disjoint_movers
+        assert len(engine._planner.fallback_groups) == 1
+        first = 0
+        for _ in range(periods):
+            reset_all(engine, [("a", n)])
+            transitions = engine.step()
+            first += int(transitions.get(("a", "b"),
+                                         np.zeros(trials)).sum())
+        # The first-declared action's coin is unaffected by the second.
+        assert_binomial_count(
+            first, n * trials * periods, 0.7,
+            comparisons=2, context="fallback first action",
+        )
+
+    def test_fallback_conserves_population(self):
+        engine = BatchRoundEngine(
+            self.spec(), n=300, trials=3, initial={"a": 300}, seed=14
+        )
+        for _ in range(10):
+            reset_all(engine, [("a", 300)])
+            engine.step()
+            engine._validate_consistency()
+
+
+class TestSelectionStrategies:
+    def test_strategies_agree_distributionally(self):
+        """Dense probing and sparse per-trial paths share one law.
+
+        The same spec run at a dense and a sparse occupancy both
+        reproduce the Binomial(count, p) marginal; the strategy switch
+        is invisible in distribution.
+        """
+        spec = flip_spec((0.05,))
+        for n, trials, label in ((2_000, 8, "dense"), (2_000, 1, "sparse")):
+            engine = BatchRoundEngine(
+                spec, n=n, trials=trials, initial={"a": n}, seed=31
+            )
+            total = 0
+            periods = 100
+            for _ in range(periods):
+                reset_all(engine, [("a", n)])
+                transitions = engine.step()
+                total += int(transitions[("a", "t0")].sum())
+            assert_binomial_count(
+                total, n * trials * periods, 0.05,
+                comparisons=2, context=f"{label} selection",
+            )
+
+    def test_probe_selection_is_uniform_over_members(self):
+        """Host selection frequencies are exchangeable under probing."""
+        spec = flip_spec((0.05,))
+        n, trials, periods = 1_000, 4, 400
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials, initial={"a": n}, seed=32
+        )
+        sid_a = engine.state_id("a")
+        picks = np.zeros(trials * n, dtype=np.int64)
+        for _ in range(periods):
+            reset_all(engine, [("a", n)])
+            before = engine.states.copy()
+            engine.step()
+            moved = (engine.states != sid_a).reshape(-1)
+            moved &= (before == sid_a).reshape(-1)
+            picks += moved
+        # Pool the first and second half of each row: a biased sampler
+        # (e.g. favoring low pool columns) would separate the halves.
+        halves = picks.reshape(trials, n)
+        first = int(halves[:, :n // 2].sum())
+        assert_binomial_count(
+            first, int(picks.sum()), 0.5,
+            context="probe uniformity (first half vs second half)",
+        )
+
+
+class TestTrialMemberPools:
+    def make(self, trials=3, n=50, seed=0):
+        rng = np.random.Generator(np.random.MT19937(seed))
+        states = rng.integers(0, 3, size=trials * n).astype(np.int8)
+        pools = TrialMemberPools([0, 1, 2], trials, n, states)
+        return pools, states, rng
+
+    def check(self, pools, states, trials=3, n=50):
+        for sid in (0, 1, 2):
+            grouped, bounds = pools.grouped(sid)
+            expected = np.flatnonzero(states == sid)
+            assert np.array_equal(np.sort(grouped), expected)
+            for trial in range(trials):
+                members = pools.members(sid, trial)
+                inside = expected[(expected >= trial * n)
+                                  & (expected < (trial + 1) * n)]
+                assert np.array_equal(np.sort(members), inside)
+
+    def test_build_matches_scan(self):
+        pools, states, _ = self.make()
+        self.check(pools, states)
+
+    def test_remove_add_roundtrip(self):
+        pools, states, rng = self.make()
+        for step in range(30):
+            sid = int(rng.integers(0, 3))
+            members = np.flatnonzero(states == sid)
+            if members.size == 0:
+                continue
+            count = int(rng.integers(1, min(6, members.size) + 1))
+            gone = rng.choice(members, size=count, replace=False)
+            target = (sid + 1) % 3
+            pools.remove(sid, np.sort(gone))
+            pools.add(target, np.sort(gone))
+            states[gone] = target
+            self.check(pools, states)
+
+    def test_bulk_deltas_match_singles(self):
+        pools, states, rng = self.make(seed=4)
+        movers0 = np.sort(rng.choice(
+            np.flatnonzero(states == 0), size=8, replace=False
+        ))
+        movers1 = np.sort(rng.choice(
+            np.flatnonzero(states == 1), size=6, replace=False
+        ))
+        pools.remove_many([(0, [movers0]), (1, [movers1])])
+        pools.add_many([(1, [movers0]), (2, [movers1])])
+        states[movers0] = 1
+        states[movers1] = 2
+        self.check(pools, states)
+
+    def test_tiny_deltas_use_scalar_path(self):
+        pools, states, rng = self.make(seed=5)
+        mover = np.flatnonzero(states == 0)[:1]
+        pools.remove_many([(0, [mover])])
+        pools.add_many([(2, [mover])])
+        states[mover] = 2
+        self.check(pools, states)
+
+    def test_grouped_cache_invalidation(self):
+        pools, states, _ = self.make(seed=6)
+        before, _ = pools.grouped(0)
+        mover = np.flatnonzero(states == 0)[:1]
+        pools.remove(0, mover)
+        states[mover] = 1
+        pools.add(1, mover)
+        after, _ = pools.grouped(0)
+        assert after.size == before.size - 1
+        self.check(pools, states)
+
+
+class TestPlannerStatics:
+    def test_lv_groups(self):
+        planner = ActionPlanner(_compile(lv_protocol()), trials=4, n=100)
+        # x and y carry one coin action each, z two (the fused pair).
+        widths = sorted(g.width for g in planner.coin_groups)
+        assert widths == [1, 1, 2]
+        assert not planner.fallback_groups
+        assert planner._thinning
+
+    def test_flip_protocol_skips_thinning(self):
+        planner = ActionPlanner(_compile(flip_spec()), trials=4, n=100)
+        assert not planner._thinning
+
+    def test_sample_action_match_probability(self):
+        spec = ProtocolSpec(
+            name="pair", states=("a", "b"),
+            actions=(
+                SampleAction(
+                    actor_state="a", probability=0.5, target_state="b",
+                    required_states=("b",),
+                ),
+            ),
+        )
+        compiled = _compile(spec)
+        planner = ActionPlanner(compiled, trials=2, n=101)
+        counts0 = np.array([[60, 41], [101, 0]], dtype=np.int64)
+        q = planner._match_probability(counts0, compiled[0])
+        assert q == pytest.approx([41 / 100, 0.0])
