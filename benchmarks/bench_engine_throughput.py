@@ -93,7 +93,7 @@ def test_agent_sim_period(benchmark):
     sim.run(5)  # warm the event queue
 
     def one_period():
-        sim.env.run(until=sim.env.now + sim.period)
+        sim.env.run(until=sim.env.now + sim.period_duration)
 
     benchmark(one_period)
 

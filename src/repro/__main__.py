@@ -5,7 +5,8 @@ Usage::
     python -m repro run       equations.txt|protocol-name --n 10000
                                --trials 16 [--periods 200] [--param ...]
                                [--scenario massive-failure]
-                               [--engine auto|serial|batch|lockstep]
+                               [--engine auto|serial|batch|lockstep|agent]
+                               [--workers 4]
                                [--seed 42] [--loss-rate 0.05] [--plot]
     python -m repro classify  equations.txt [--param beta=4 ...]
     python -m repro synthesize equations.txt [--param ...] [--p 0.01]
@@ -249,7 +250,9 @@ def cmd_run(args) -> int:
     # reproduces the run.
     print(f"engine: {engine_note}  n={args.n}  trials={args.trials}  "
           f"periods={args.periods}  seed={experiment.seed}"
-          + (f"  workers={args.workers} (shards={result.shards})"
+          + ((f"  workers={args.workers}"
+              + (f" (shards={result.shards})"
+                 if result.engine in ("batch", "lockstep") else ""))
              if args.workers > 1 else "")
           + (f"  scenario={args.scenario}"
              if args.scenario not in (None, "none") else "")
@@ -544,7 +547,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=None, help="root seed")
     p_run.add_argument("--engine", choices=ENGINES, default="auto",
                        help="engine tier (default auto: serial for one "
-                            "trial, batch for ensembles)")
+                            "trial, batch for ensembles; 'agent' runs "
+                            "the ensemble on the asynchronous DES tier)")
     p_run.add_argument("--scenario", default=None,
                        help="failure scenario name (see campaign "
                             "--dry-run for the registry); makes the "
@@ -566,9 +570,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record every stride-th period")
     p_run.add_argument("--workers", type=int, default=1,
                        help="processes to fan the trial axis across "
-                            "(trials split into min(workers, trials) "
-                            "campaign-style shards; the shard count is "
-                            "part of the run's stream identity)")
+                            "(batch/lockstep: trials split into "
+                            "min(workers, trials) campaign-style shards, "
+                            "and the shard count is part of the run's "
+                            "stream identity; agent: whole trials fan "
+                            "out, results are worker-independent)")
     p_run.add_argument("--show-protocol", action="store_true",
                        help="print the synthesized state machine")
     p_run.add_argument("--plot", action="store_true",

@@ -26,12 +26,9 @@ from __future__ import annotations
 
 import datetime
 import json
-import multiprocessing
 import os
-import pickle
 import platform
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -40,6 +37,7 @@ import numpy as np
 
 from ..experiment.scenario import Scenario
 from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
+from ..runtime.exec import ExecutionPlan, WorkUnit, run_plan
 from ..runtime.parallel import shard_layout
 from .grid import CampaignPoint, CampaignSpec
 from .registry import custom_entries, install_entries, resolve_protocol
@@ -398,55 +396,59 @@ def run_campaign(
         tensors_dir.mkdir(parents=True, exist_ok=True)
     want_tensor = tensors_dir is not None
 
-    jobs = [
-        (point_index, shard_index, shard, want_tensor)
+    # The campaign as one ExecutionPlan: both parallelism levels --
+    # independent grid points, and the trial-axis shards of each point
+    # -- flatten into a single work-unit list served by one ``workers``
+    # budget, so a small grid holding one huge sharded point fills the
+    # same pool a wide grid does.  The decomposition (and every unit's
+    # seed) depends only on the spec, never on ``workers``, which is
+    # what keeps pooled runs bitwise equal to serial ones and replays.
+    pairs = [
+        (
+            (point_index, shard_index),
+            WorkUnit(
+                runner=_run_shard_unit,
+                payload=(shard, want_tensor),
+                label=f"{point.label} shard {shard_index}",
+            ),
+        )
         for point_index, point in enumerate(points)
         for shard_index, shard in enumerate(_shard_points(point))
     ]
-    fan_out = workers > 1 and len(jobs) > 1
-    if fan_out:
-        # Worker processes under the spawn start method (macOS/Windows
-        # default) re-import the registry and see only the built-ins,
-        # so runtime-registered builders must ride along and be
-        # re-installed by the pool initializer.  Only builders this
-        # campaign actually references are shipped; ones that cannot
-        # cross a process boundary (closures, lambdas) force a serial
-        # run -- with a warning -- rather than a KeyError inside the
-        # workers.
-        extra_protocols, extra_scenarios = custom_entries()
-        used_protocols = {p.protocol for p in points}
-        used_scenarios = {p.scenario for p in points}
-        extra = (
-            {k: v for k, v in extra_protocols.items()
-             if k in used_protocols},
-            {k: v for k, v in extra_scenarios.items()
-             if k in used_scenarios},
-        )
-        try:
-            pickle.dumps(extra)
-        except Exception:
-            warnings.warn(
-                "campaign references runtime-registered builders that "
-                "cannot be pickled to worker processes; running the "
-                f"{len(jobs)}-job grid serially instead of on "
-                f"{workers} workers",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            fan_out = False
+    unit_keys = [key for key, _ in pairs]
+    units = [unit for _, unit in pairs]
+
+    # Worker processes under the spawn start method (macOS/Windows
+    # default) re-import the registry and see only the built-ins, so
+    # runtime-registered builders must ride along and be re-installed
+    # by the pool initializer.  Only builders this campaign actually
+    # references are shipped; ones that cannot cross a process
+    # boundary (closures, lambdas) are caught by run_plan's pickle
+    # check, which degrades to a warned serial in-process run rather
+    # than a KeyError inside the workers.
+    extra_protocols, extra_scenarios = custom_entries()
+    used_protocols = {p.protocol for p in points}
+    used_scenarios = {p.scenario for p in points}
+    extra = (
+        {k: v for k, v in extra_protocols.items()
+         if k in used_protocols},
+        {k: v for k, v in extra_scenarios.items()
+         if k in used_scenarios},
+    )
 
     # Stream completion: a point is merged, saved and reported as soon
     # as its last shard lands, and its shard outputs (which hold the
     # full tensors when save_tensors is on) are freed immediately --
-    # the pool never forces the whole campaign resident at once.
+    # the plan declares no merge, so the executor never forces the
+    # whole campaign resident at once.
     shard_counts = [0] * len(points)
-    for point_index, _, _, _ in jobs:
+    for point_index, _ in unit_keys:
         shard_counts[point_index] += 1
     pending: Dict[int, Dict[int, _ShardOutput]] = {}
     results: Dict[int, PointResult] = {}
 
-    def complete(point_index: int, shard_index: int,
-                 output: _ShardOutput) -> None:
+    def complete(unit_index: int, output: _ShardOutput) -> None:
+        point_index, shard_index = unit_keys[unit_index]
         bucket = pending.setdefault(point_index, {})
         bucket[shard_index] = output
         if len(bucket) < shard_counts[point_index]:
@@ -465,19 +467,17 @@ def run_campaign(
             progress(result)
         results[point_index] = result
 
-    if not fan_out:
-        for point_index, shard_index, shard, with_tensor in jobs:
-            complete(
-                point_index, shard_index,
-                _run_shard(shard, want_tensor=with_tensor),
-            )
-    else:
-        with multiprocessing.Pool(
-            processes=min(workers, len(jobs)),
-            initializer=install_entries, initargs=extra,
-        ) as pool:
-            for key, output in pool.imap_unordered(_run_shard_job, jobs):
-                complete(key[0], key[1], output)
+    run_plan(
+        ExecutionPlan(
+            units=units,
+            merge=None,
+            label=f"campaign {spec.name!r}",
+            initializer=install_entries,
+            initargs=extra,
+        ),
+        workers=workers,
+        on_unit=complete,
+    )
 
     ordered = [results[i] for i in range(len(points))]
     if tensors_dir is not None:
@@ -485,11 +485,9 @@ def run_campaign(
     return CampaignResult(spec=spec, results=ordered)
 
 
-def _run_shard_job(job):
-    point_index, shard_index, shard, want_tensor = job
-    return (point_index, shard_index), _run_shard(
-        shard, want_tensor=want_tensor
-    )
+def _run_shard_unit(payload):
+    shard, want_tensor = payload
+    return _run_shard(shard, want_tensor=want_tensor)
 
 
 # ----------------------------------------------------------------------

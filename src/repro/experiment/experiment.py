@@ -21,7 +21,12 @@ Explicit tiers: ``engine="serial"`` runs ``trials`` seeded
 the batch engine's lockstep mode, which is *bit-identical* to the
 serial tier trial for trial (the validation bridge);
 ``engine="batch"`` forces the vectorized mode (statistically
-equivalent, not draw-for-draw).
+equivalent, not draw-for-draw); ``engine="agent"`` runs ``trials``
+seeded :class:`AgentSimulation` instances -- the asynchronous DES tier
+(arbitrary period phases, latency, drift), as an ensemble with the
+*same* spawned trial-seed family as the serial tier, pooled across
+``workers`` processes via
+:class:`~repro.runtime.parallel.AgentEnsemble`.
 """
 
 from __future__ import annotations
@@ -32,14 +37,14 @@ from typing import Mapping, Optional, Union
 
 from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
 from ..runtime.metrics import MetricsRecorder
-from ..runtime.parallel import ShardedBatchExecutor
+from ..runtime.parallel import AgentEnsemble, ShardedBatchExecutor
 from ..runtime.round_engine import RoundEngine
 from ..runtime.rng import spawn_seeds
 from .protocol import Protocol
 from .result import ExperimentResult
 from .scenario import RunContext, Scenario
 
-ENGINES = ("auto", "serial", "batch", "lockstep")
+ENGINES = ("auto", "serial", "batch", "lockstep", "agent")
 
 
 class Experiment:
@@ -90,7 +95,10 @@ class Experiment:
         identical whether the shards actually ran pooled or serially.
         Note the *shard count* is part of the stream identity: results
         differ from the unsharded ``workers=1`` run (exactly as
-        campaign ``--shards`` documents).  The serial tier ignores it.
+        campaign ``--shards`` documents).  The agent tier fans whole
+        trials across the pool (each trial owns its RNG stream, so the
+        result is bitwise independent of ``workers``, clamped to
+        ``trials``).  The serial tier ignores it.
     """
 
     def __init__(
@@ -181,6 +189,8 @@ class Experiment:
         started = time.perf_counter()
         if engine_name == "serial":
             result = self._run_serial(resolved.spec, initial)
+        elif engine_name == "agent":
+            result = self._run_agent(resolved.spec, initial)
         else:
             result = self._run_batched(resolved.spec, initial, engine_name)
         result.elapsed_seconds = time.perf_counter() - started
@@ -216,6 +226,47 @@ class Experiment:
             protocol=self.protocol,
             scenario=self.scenario.label if self.scenario else None,
             trial_recorders=recorders,
+        )
+
+    def _run_agent(self, spec, initial) -> ExperimentResult:
+        """The asynchronous DES tier, as a (possibly pooled) ensemble.
+
+        Trial seeds are ``spawn_seeds(seed, trials)`` -- the serial
+        tier's own family -- and scenario hooks are indexed by global
+        trial through the same domain-separated
+        :class:`~repro.experiment.scenario.Scenario` contract, so an
+        asynchrony check of a batch result keeps the batch run's fault
+        schedule.  The tier exposes the round engines' fault surface
+        (period, crash/recover, read-only alive/states snapshots), so
+        the stock registry scenarios apply; hooks that write engine
+        arrays directly do not (see :meth:`AgentSimulation.run`).
+        """
+        if self.member_log_state is not None:
+            raise ValueError(
+                "member_log_state is not supported on the agent tier"
+            )
+        context = self.context()
+        hook_factories = (
+            [self.scenario.hook_factory(context)] if self.scenario else ()
+        )
+        ensemble = AgentEnsemble(
+            spec, n=self.n, trials=self.trials, initial=initial,
+            seed=self.seed, loss_rate=self.loss_rate,
+            workers=self.workers,
+        )
+        outcome = ensemble.run(
+            self.periods,
+            stride=self.stride,
+            track_transitions=self.record_transitions,
+            hook_factories=hook_factories,
+        )
+        return ExperimentResult(
+            spec=spec, n=self.n, trials=self.trials, periods=self.periods,
+            engine="agent", trial_seeds=list(outcome.trial_seeds),
+            elapsed_seconds=0.0,
+            protocol=self.protocol,
+            scenario=self.scenario.label if self.scenario else None,
+            trial_recorders=outcome.recorders,
         )
 
     def _run_batched(self, spec, initial, engine_name: str) -> ExperimentResult:

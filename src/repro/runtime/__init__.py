@@ -42,7 +42,15 @@ from .membership import FullMembership, PartialMembership
 from .metrics import MetricsRecorder, WindowStats
 from .network import ContactFailed, LatencyModel, Network
 from .overlay import erdos_renyi_overlay, log_degree, overlay_stats, random_regular_overlay
-from .parallel import SHARD_DOMAIN, ShardedBatchExecutor, ShardedRunResult, shard_layout
+from .exec import ExecutionPlan, WorkUnit, run_plan
+from .parallel import (
+    SHARD_DOMAIN,
+    AgentEnsemble,
+    AgentEnsembleResult,
+    ShardedBatchExecutor,
+    ShardedRunResult,
+    shard_layout,
+)
 from .planner import ActionPlanner, PlannedAction, TrialMemberPools
 from .rng import RandomSource, make_generator, sample_other, spawn_seeds
 from .round_engine import RoundEngine, RunResult, initial_state_vector
@@ -59,8 +67,13 @@ __all__ = [
     "ActionPlanner",
     "PlannedAction",
     "TrialMemberPools",
+    "ExecutionPlan",
+    "WorkUnit",
+    "run_plan",
     "ShardedBatchExecutor",
     "ShardedRunResult",
+    "AgentEnsemble",
+    "AgentEnsembleResult",
     "shard_layout",
     "SHARD_DOMAIN",
     "initial_state_vector",

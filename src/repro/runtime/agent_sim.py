@@ -27,7 +27,7 @@ hierarchy:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -82,7 +82,7 @@ class AgentSimulation:
             raise ValueError(f"need at least 2 processes, got {n}")
         self.spec = spec
         self.n = n
-        self.period = period
+        self.period_duration = period
         self.env = Environment()
         source = RandomSource(seed)
         self.rng = source.stream("agents")
@@ -195,6 +195,47 @@ class AgentSimulation:
     # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
+    @property
+    def period(self) -> int:
+        """Elapsed *nominal* periods (the group-average clock).
+
+        Matches the round engines' convention -- 0 before the first
+        period runs -- so period-triggered hooks
+        (:class:`~repro.runtime.failures.MassiveFailure` and friends)
+        fire at the same nominal time on every tier.
+        """
+        return int(round(self.env.now / self.period_duration))
+
+    @property
+    def alive(self) -> np.ndarray:
+        """Per-agent alive flags as a read-only ``(n,)`` bool snapshot.
+
+        The round engines' hook surface, rebuilt on access (O(n), fine
+        at DES scales): stock failure hooks index it
+        (``np.nonzero(engine.alive)``) and then mutate through
+        :meth:`crash` / :meth:`recover` -- writing to this snapshot has
+        no effect, exactly like the batch engine's row views.
+        """
+        return np.array([agent.alive for agent in self.agents])
+
+    @property
+    def states(self) -> np.ndarray:
+        """Per-agent state ids as a read-only ``(n,)`` int8 snapshot."""
+        index = {name: i for i, name in enumerate(self.spec.states)}
+        return np.array(
+            [index[agent.state] for agent in self.agents], dtype=np.int8
+        )
+
+    def state_id(self, name: str) -> int:
+        return self.spec.states.index(name)
+
+    def members_in(self, state: str) -> np.ndarray:
+        """Ids of alive agents currently in ``state`` (hook surface)."""
+        return np.array([
+            agent.id for agent in self.agents
+            if agent.alive and agent.state == state
+        ], dtype=np.int64)
+
     def counts(self) -> Dict[str, int]:
         out = {s: 0 for s in self.spec.states}
         for agent in self.agents:
@@ -220,19 +261,49 @@ class AgentSimulation:
         periods: float,
         recorder: Optional[MetricsRecorder] = None,
         sample_every: float = 1.0,
+        hooks: Sequence[Callable[["AgentSimulation"], None]] = (),
+        record_initial: bool = True,
     ) -> MetricsRecorder:
         """Advance the simulation ``periods`` nominal periods.
 
         Counts are sampled every ``sample_every`` periods into the
         recorder (period index = elapsed nominal periods).
+        ``record_initial`` stores the period-0 state before anything
+        runs -- the round engines' convention, so the agent tier's
+        recordings align period-for-period with theirs for cross-tier
+        comparison.
+
+        ``hooks`` are called with the simulation before every sampling
+        step, mirroring :meth:`RoundEngine.run` (with
+        ``sample_every != 1`` they fire once per *sample*, at nominal
+        period resolution).  The fault surface matches the round
+        engines': :attr:`period`, :meth:`crash`,
+        :meth:`crash_fraction`, :meth:`recover`, plus read-only
+        :attr:`alive` / :attr:`states` snapshots, :meth:`state_id` and
+        :meth:`members_in` -- so the stock failure hooks
+        (:class:`~repro.runtime.failures.MassiveFailure`,
+        :class:`~repro.runtime.failures.CrashRecoveryNoise`,
+        :class:`~repro.runtime.failures.DirectedAttack`, ...) work
+        unchanged.  Hooks that *write* the round engines' arrays
+        directly (rather than mutating via crash/recover) do not apply
+        to this tier.
         """
         if recorder is None:
             recorder = MetricsRecorder(self.spec.states)
         start = self.env.now
+        if record_initial and self.period == 0:
+            recorder.record(
+                period=0,
+                counts=self.counts(),
+                alive=self.alive_count(),
+                transitions={},
+            )
         steps = int(round(periods / sample_every))
         last_counts: Dict[Tuple[str, str], int] = dict(self.transition_counts)
         for step in range(1, steps + 1):
-            target_time = start + step * sample_every * self.period
+            for hook in hooks:
+                hook(self)
+            target_time = start + step * sample_every * self.period_duration
             self.env.run(until=target_time)
             deltas = {
                 edge: self.transition_counts.get(edge, 0) - last_counts.get(edge, 0)
@@ -240,7 +311,7 @@ class AgentSimulation:
             }
             last_counts = dict(self.transition_counts)
             recorder.record(
-                period=int(round((self.env.now - start) / self.period)),
+                period=int(round((self.env.now - start) / self.period_duration)),
                 counts=self.counts(),
                 alive=self.alive_count(),
                 transitions=deltas,

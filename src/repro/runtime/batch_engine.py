@@ -810,7 +810,16 @@ class BatchRoundEngine:
         assert np.array_equal(
             self._alive_counts, self.alive.sum(axis=1)
         ), "alive counts out of sync"
-        for sid in self._pools.slots:
+        for sid in self._pools.tracked - set(self._pools.slots):
+            # The lazy-allocation invariant: a tracked state without a
+            # row has no alive members (gains always go through add()).
+            mask = self._states_flat == sid
+            mask &= self._alive_flat
+            if mask.any():
+                raise AssertionError(
+                    f"state {sid} has members but no allocated pool row"
+                )
+        for sid in list(self._pools.slots):
             mask = self._states_flat == sid
             mask &= self._alive_flat
             expected_ids = np.flatnonzero(mask)
@@ -872,7 +881,7 @@ class BatchRoundEngine:
             """
             got = segment_cache.get(sid)
             if got is None:
-                if sid in self._pools.slots:
+                if sid in self._pools.tracked:
                     got = self._pools.grouped(sid)
                 else:
                     mask = snapshot == sid
@@ -896,7 +905,7 @@ class BatchRoundEngine:
             trial's row, so a period with one or two active trials
             never touches the full ``(M, N)`` array.
             """
-            if sid in self._pools.slots:
+            if sid in self._pools.tracked:
                 return self._pools.members(sid, trial)
             key = (trial, sid)
             got = scan_cache.get(key)

@@ -1,0 +1,170 @@
+"""The unified execution layer: work-unit plans with pluggable executors.
+
+Three parallel paths grew in this repository -- campaign point/shard
+fan-out (:mod:`repro.campaign.runner`), trial-sharded batch ensembles
+(:class:`~repro.runtime.parallel.ShardedBatchExecutor`) and agent-tier
+ensembles (:class:`~repro.runtime.parallel.AgentEnsemble`) -- and all
+three reduce to the same shape: a deterministic list of independent
+**work units**, executed anywhere, whose outputs are combined by an
+order-dependent, schedule-independent **merge**.  This module is that
+shape, extracted once:
+
+* a :class:`WorkUnit` is a picklable ``(runner, payload)`` pair whose
+  ``runner`` must be a module-level function (the only kind a spawned
+  worker process can import);
+* an :class:`ExecutionPlan` is the ordered unit list plus the merge
+  contract and optional worker-process initialization;
+* :func:`run_plan` executes a plan on 1..K local processes.
+
+The reproducibility contract, shared by every caller:
+
+1. **Unit identity is part of the experiment's identity.**  A plan's
+   decomposition (how many units, which seeds they carry) must depend
+   only on declared inputs -- root seed, trial count, shard count --
+   never on ``workers``.  Unit seeds come from domain-separated spawns
+   (:func:`repro.runtime.rng.spawn_seeds` over ``(seed, DOMAIN)``
+   entropy), so unit streams cannot collide with protocol streams.
+2. **Merges are integer-exact and ordered.**  ``merge`` receives unit
+   outputs in *unit order* regardless of completion order, and must
+   combine them with order-preserving, exact operations (concatenation,
+   integer sums) -- never means of means.  Together with (1) this makes
+   a plan's result bitwise identical however it is scheduled: one
+   process, K workers, or a later replay.
+3. **Serial execution is always a correct fallback.**  When the units
+   do not survive :mod:`pickle` (closure or lambda hooks, runtime
+   registrations), :func:`run_plan` warns and runs them in-process --
+   same bits, no pool.
+
+``workers`` is therefore pure *scheduling budget*: callers that nest
+(a campaign point expanding into trial shards) flatten their levels
+into one unit list and hand the whole budget to a single pool, which
+is what lets one huge point and many small points share workers
+without either level re-deciding the decomposition.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["ExecutionPlan", "WorkUnit", "run_plan"]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independently executable unit of a plan.
+
+    ``runner`` must be a module-level function so it can cross a
+    process boundary; ``payload`` is its single argument and should be
+    a plain-data job description (dataclasses of primitives pickle
+    fine; closures do not and will trigger the serial fallback).
+    """
+
+    runner: Callable[[Any], Any]
+    payload: Any
+    label: str = ""
+
+
+@dataclass
+class ExecutionPlan:
+    """An ordered list of work units plus their merge contract.
+
+    Parameters
+    ----------
+    units:
+        The work, in the order ``merge`` expects the outputs.
+    merge:
+        Combines the ordered output list into the plan's result.  May
+        be ``None`` for streaming consumers that assemble results in
+        the ``on_unit`` callback instead -- outputs are then *not*
+        retained (important when units return large tensors).
+    label:
+        Used in the serial-fallback warning so the caller is
+        identifiable.
+    initializer, initargs:
+        Worker-process setup (e.g. re-installing runtime registry
+        entries under the spawn start method).  Only invoked in pool
+        workers; the in-process path assumes the current process is
+        already initialized.
+    """
+
+    units: Sequence[WorkUnit]
+    merge: Optional[Callable[[List[Any]], Any]] = None
+    label: str = "plan"
+    initializer: Optional[Callable] = None
+    initargs: Tuple = field(default_factory=tuple)
+
+
+def _run_unit(job: Tuple[int, Callable, Any]) -> Tuple[int, Any]:
+    index, runner, payload = job
+    return index, runner(payload)
+
+
+def _picklable(plan: ExecutionPlan) -> bool:
+    try:
+        pickle.dumps([(u.runner, u.payload) for u in plan.units])
+        pickle.dumps((plan.initializer, plan.initargs))
+    except Exception:
+        return False
+    return True
+
+
+def run_plan(
+    plan: ExecutionPlan,
+    workers: int = 1,
+    on_unit: Optional[Callable[[int, Any], None]] = None,
+) -> Any:
+    """Execute every unit of ``plan`` and return its merged result.
+
+    ``workers > 1`` fans the units across that many processes (capped
+    at the unit count); ``on_unit(index, output)`` fires as each unit
+    lands, in *completion* order -- streaming consumers use it to free
+    outputs early.  ``merge`` (when set) always receives outputs in
+    unit order.  Unpicklable plans degrade to a serial in-process run
+    with a :class:`RuntimeWarning`; the results are bitwise identical
+    either way, which is exactly the plan contract.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    units = list(plan.units)
+    fan_out = workers > 1 and len(units) > 1
+    if fan_out and not _picklable(plan):
+        warnings.warn(
+            f"{plan.label}: work units are unpicklable (closure or "
+            f"lambda hooks, runtime registrations?); running the "
+            f"{len(units)} units serially in-process instead of on "
+            f"{workers} workers (results are bitwise identical either "
+            f"way)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        fan_out = False
+
+    outputs: Optional[List[Any]] = (
+        [None] * len(units) if plan.merge is not None else None
+    )
+    if fan_out:
+        with multiprocessing.Pool(
+            processes=min(workers, len(units)),
+            initializer=plan.initializer,
+            initargs=plan.initargs,
+        ) as pool:
+            jobs = [(i, u.runner, u.payload) for i, u in enumerate(units)]
+            for index, output in pool.imap_unordered(_run_unit, jobs):
+                if on_unit is not None:
+                    on_unit(index, output)
+                if outputs is not None:
+                    outputs[index] = output
+    else:
+        for index, unit in enumerate(units):
+            output = unit.runner(unit.payload)
+            if on_unit is not None:
+                on_unit(index, output)
+            if outputs is not None:
+                outputs[index] = output
+    if plan.merge is None:
+        return None
+    return plan.merge(outputs)

@@ -1,45 +1,58 @@
-"""Process-parallel trial-sharded execution of batch ensembles.
+"""Process-parallel ensembles: trial-sharded batch runs and agent DES runs.
 
 The batch engine vectorizes the trial axis inside one process; this
-module fans it out *across* processes.  An M-trial ensemble splits into
-campaign-style shards -- independently seeded sub-ensembles whose seed
-family is spawned from ``(seed, SHARD_DOMAIN)``, exactly the discipline
-``repro.campaign`` uses for ``--shards`` -- each shard runs its own
-:class:`~repro.runtime.batch_engine.BatchRoundEngine`, and the shard
-recorders merge integer-exactly along the trial axis.  Because the
-shard decomposition depends only on ``(seed, trials, shards)`` and the
-merge is pure concatenation in shard order, the result is **bitwise
-identical** however the shards are scheduled: one process, K workers,
-or a later replay.
+module fans ensembles out *across* processes, as
+:class:`~repro.runtime.exec.ExecutionPlan` instances over the unified
+execution layer (:mod:`repro.runtime.exec`).  Two executors live here:
 
-With ``shards == 1`` the executor degenerates to a plain
-:class:`BatchRoundEngine` seeded with the root seed (no spawn), so
-single-shard runs reproduce unsharded ones bit for bit -- again the
-campaign's convention.
+* :class:`ShardedBatchExecutor` -- an M-trial batch ensemble splits
+  into campaign-style shards: independently seeded sub-ensembles whose
+  seed family is spawned from ``(seed, SHARD_DOMAIN)``, exactly the
+  discipline ``repro.campaign`` uses for ``--shards``.  Each shard
+  (one work unit) runs its own
+  :class:`~repro.runtime.batch_engine.BatchRoundEngine`, and the shard
+  recorders merge integer-exactly along the trial axis.  Because the
+  shard decomposition depends only on ``(seed, trials, shards)`` and
+  the merge is pure concatenation in shard order, the result is
+  **bitwise identical** however the shards are scheduled: one process,
+  K workers, or a later replay.  With ``shards == 1`` the executor
+  degenerates to a plain :class:`BatchRoundEngine` seeded with the
+  root seed (no spawn), so single-shard runs reproduce unsharded ones
+  bit for bit -- again the campaign's convention.
+* :class:`AgentEnsemble` -- M seeded
+  :class:`~repro.runtime.agent_sim.AgentSimulation` trials (the DES
+  tier), one work unit per trial, with per-trial seeds from
+  ``spawn_seeds(seed, M)`` -- the *same* trial-seed discipline the
+  serial and lockstep tiers use.  The merge collects the per-trial
+  recorders in trial order, so an agent ensemble is bitwise
+  reproducible and schedule-independent by construction (each trial
+  owns its whole RNG stream).
 
-This is the engine-level sibling of campaign ``--shards``: campaigns
-parallelize across grid points and shards of points, while
-:class:`ShardedBatchExecutor` gives a *single* experiment (via
+These are the engine-level siblings of campaign fan-out: campaigns
+parallelize across grid points and shards of points, while the
+executors here give a *single* experiment (via
 ``Experiment(..., workers=K)`` / ``python -m repro run --workers``)
 the same multi-core scaling.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import pickle
-import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..synthesis.protocol import ProtocolSpec
+from .agent_sim import AgentSimulation
 from .batch_engine import BatchMetricsRecorder, BatchRoundEngine, HookFactory
+from .exec import ExecutionPlan, WorkUnit, run_plan
+from .metrics import MetricsRecorder
 from .rng import spawn_seeds
 
 __all__ = [
     "SHARD_DOMAIN",
+    "AgentEnsemble",
+    "AgentEnsembleResult",
     "ShardedBatchExecutor",
     "ShardedRunResult",
     "shard_layout",
@@ -160,11 +173,6 @@ def _run_shard(job: _ShardJob):
     )
 
 
-def _run_indexed_shard(args):
-    index, job = args
-    return index, _run_shard(job)
-
-
 @dataclass
 class ShardedRunResult:
     """Merged outcome of a sharded ensemble run.
@@ -271,50 +279,205 @@ class ShardedBatchExecutor:
             ))
             offset += size
 
-        fan_out = self.workers > 1 and len(jobs) > 1
-        if fan_out:
-            try:
-                pickle.dumps(jobs)
-            except Exception:
-                warnings.warn(
-                    "sharded run has unpicklable hook factories; running "
-                    f"the {len(jobs)} shards serially in-process instead "
-                    f"of on {self.workers} workers (results are bitwise "
-                    "identical either way)",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                fan_out = False
+        def merge(outputs: List) -> ShardedRunResult:
+            recorders = [o[0] for o in outputs]
+            return ShardedRunResult(
+                recorder=BatchMetricsRecorder.merge(recorders),
+                trial_seeds=[s for o in outputs for s in o[1]],
+                shard_seeds=[seed for _, seed in self.layout],
+                shard_sizes=[size for size, _ in self.layout],
+                final_counts_matrix=np.concatenate(
+                    [o[2] for o in outputs], axis=0
+                ),
+                final_alive=np.concatenate([o[3] for o in outputs]),
+                total_messages=np.concatenate([o[4] for o in outputs]),
+            )
 
-        outputs: List = [None] * len(jobs)
-        if fan_out:
-            with multiprocessing.Pool(
-                processes=min(self.workers, len(jobs))
-            ) as pool:
-                for index, output in pool.imap_unordered(
-                    _run_indexed_shard, list(enumerate(jobs))
-                ):
-                    outputs[index] = output
-        else:
-            for index, job in enumerate(jobs):
-                outputs[index] = _run_shard(job)
-
-        recorders = [o[0] for o in outputs]
-        return ShardedRunResult(
-            recorder=BatchMetricsRecorder.merge(recorders),
-            trial_seeds=[s for o in outputs for s in o[1]],
-            shard_seeds=[seed for _, seed in self.layout],
-            shard_sizes=[size for size, _ in self.layout],
-            final_counts_matrix=np.concatenate(
-                [o[2] for o in outputs], axis=0
-            ),
-            final_alive=np.concatenate([o[3] for o in outputs]),
-            total_messages=np.concatenate([o[4] for o in outputs]),
+        plan = ExecutionPlan(
+            units=[
+                WorkUnit(runner=_run_shard, payload=job,
+                         label=f"shard {index}")
+                for index, job in enumerate(jobs)
+            ],
+            merge=merge,
+            label=f"sharded {self.spec.name!r} ensemble",
         )
+        return run_plan(plan, workers=self.workers)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"ShardedBatchExecutor({self.spec.name!r}, n={self.n}, "
             f"trials={self.trials}, shards={self.shards}, "
             f"workers={self.workers}, mode={self.mode!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Agent-tier (DES) ensembles
+# ----------------------------------------------------------------------
+@dataclass
+class _AgentTrialJob:
+    """Everything one worker needs to run one DES trial (picklable)."""
+
+    spec: ProtocolSpec
+    n: int
+    initial: Dict[str, float]
+    seed: int
+    period: float
+    loss_rate: float
+    clock_drift_std: float
+    periods: float
+    sample_every: float
+    stride: int
+    track_transitions: bool
+    record_initial: bool
+    hook_factories: Tuple[Callable[[int], Callable], ...]
+    trial: int
+
+
+def _run_agent_trial(job: _AgentTrialJob) -> MetricsRecorder:
+    """Worker entry point: run one asynchronous trial, return its recorder."""
+    simulation = AgentSimulation(
+        job.spec,
+        job.n,
+        job.initial,
+        period=job.period,
+        seed=job.seed,
+        loss_rate=job.loss_rate,
+        clock_drift_std=job.clock_drift_std,
+    )
+    recorder = MetricsRecorder(
+        job.spec.states,
+        track_transitions=job.track_transitions,
+        stride=job.stride,
+    )
+    simulation.run(
+        job.periods,
+        recorder=recorder,
+        sample_every=job.sample_every,
+        hooks=[factory(job.trial) for factory in job.hook_factories],
+        record_initial=job.record_initial,
+    )
+    return recorder
+
+
+@dataclass
+class AgentEnsembleResult:
+    """Outcome of an agent-tier ensemble: per-trial recorders, trial order."""
+
+    recorders: List[MetricsRecorder]
+    trial_seeds: List[int]
+
+    @property
+    def trials(self) -> int:
+        return len(self.recorders)
+
+
+class AgentEnsemble:
+    """M independently seeded :class:`AgentSimulation` trials, optionally pooled.
+
+    The DES tier's ensemble driver: trial ``m`` runs
+    ``AgentSimulation(..., seed=spawn_seeds(seed, M)[m])`` -- the exact
+    trial-seed family the serial and lockstep tiers use -- so an agent
+    ensemble shares the repository-wide seed discipline, and re-running
+    any single trial serially reproduces it bit for bit.  Each trial is
+    one work unit of an :class:`~repro.runtime.exec.ExecutionPlan`;
+    since every trial owns its whole RNG stream, the merged result is
+    trivially **bitwise identical** however the trials are scheduled
+    (serial, pooled, any worker count).
+
+    Parameters
+    ----------
+    spec, n, initial, period, loss_rate, clock_drift_std:
+        As for :class:`~repro.runtime.agent_sim.AgentSimulation`.
+    trials:
+        Ensemble width M.
+    seed:
+        Root seed for the spawned per-trial seed family.
+    workers:
+        Processes to fan the trials across (clamped to ``trials``;
+        1 = run them serially in this process -- same bits, no pool).
+
+    Hook factories passed to :meth:`run` are called with the global
+    trial index and must return a per-period hook ``hook(simulation)``
+    (see :meth:`AgentSimulation.run`); unpicklable factories degrade to
+    a serial in-process run with a warning, bitwise the same.
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        n: int,
+        trials: int,
+        initial: Mapping[str, float],
+        seed: Optional[int] = None,
+        *,
+        period: float = 1.0,
+        loss_rate: float = 0.0,
+        clock_drift_std: float = 0.0,
+        workers: int = 1,
+    ):
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.spec = spec
+        self.n = n
+        self.trials = trials
+        self.initial = dict(initial)
+        self.seed = seed
+        self.period = period
+        self.loss_rate = loss_rate
+        self.clock_drift_std = clock_drift_std
+        self.workers = min(workers, trials)
+        self.trial_seeds = spawn_seeds(seed, trials)
+
+    def run(
+        self,
+        periods: float,
+        *,
+        sample_every: float = 1.0,
+        stride: int = 1,
+        track_transitions: bool = True,
+        record_initial: bool = True,
+        hook_factories: Sequence[Callable[[int], Callable]] = (),
+    ) -> AgentEnsembleResult:
+        """Run every trial and collect the recorders in trial order."""
+        jobs = [
+            _AgentTrialJob(
+                spec=self.spec,
+                n=self.n,
+                initial=self.initial,
+                seed=trial_seed,
+                period=self.period,
+                loss_rate=self.loss_rate,
+                clock_drift_std=self.clock_drift_std,
+                periods=periods,
+                sample_every=sample_every,
+                stride=stride,
+                track_transitions=track_transitions,
+                record_initial=record_initial,
+                hook_factories=tuple(hook_factories),
+                trial=trial,
+            )
+            for trial, trial_seed in enumerate(self.trial_seeds)
+        ]
+        plan = ExecutionPlan(
+            units=[
+                WorkUnit(runner=_run_agent_trial, payload=job,
+                         label=f"trial {job.trial}")
+                for job in jobs
+            ],
+            merge=lambda recorders: AgentEnsembleResult(
+                recorders=list(recorders),
+                trial_seeds=list(self.trial_seeds),
+            ),
+            label=f"agent ensemble {self.spec.name!r}",
+        )
+        return run_plan(plan, workers=self.workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"AgentEnsemble({self.spec.name!r}, n={self.n}, "
+            f"trials={self.trials}, workers={self.workers})"
         )

@@ -69,8 +69,10 @@ class PlannedAction:
     trial's segment (consumers must not rely on sorted ids).  When
     ``prefired`` is True the planner has already applied the action's
     interaction condition analytically (see
-    ``ActionPlanner._match_probability``), so ``actors`` ARE the
-    movers -- no peer sampling or state checks remain.  ``tokens``
+    ``ActionPlanner._match_probability`` and
+    ``ActionPlanner._plan_push``), so ``actors`` ARE the movers -- no
+    peer sampling or state checks remain; for a ``push`` plan they are
+    the converted *targets*, drawn from the match pool.  ``tokens``
     carries a tokenize action's per-trial fired-token counts instead of
     actor ids (token routing never needs the actors' identities).
     """
@@ -87,10 +89,10 @@ TrialMembers = Callable[[int, int], np.ndarray]
 
 
 class TrialMemberPools:
-    """Per-(state, trial) member pools in fixed ``(M, n)`` rows.
+    """Per-(state, trial) member pools in lazily allocated ``(M, n)`` rows.
 
     The engine's incremental-membership store, upgraded from capped
-    flat lists to one preallocated ``(states, M, n)`` tensor: row
+    flat lists to one ``(allocated_states, M, n)`` tensor: row
     ``(s, m)`` holds the global ids of trial ``m``'s alive members of
     state ``s`` in its first ``sizes[s, m]`` slots, in arbitrary order.
     A positional index (``pos[gid]`` = the gid's column in its state's
@@ -110,13 +112,25 @@ class TrialMemberPools:
     action, so during planning and execution the pools always describe
     the period-start membership.
 
-    Memory is ``O(referenced_states * M * n)`` int32 up front (the one
-    flat tensor is what lets the probe gather every state's candidates
-    in a single indexed read): ~6 MB per referenced state at the paper
-    scales (M=64, n=10k) and ~25 MB at M=64, n=100k.  The paper's
-    systems have 3-4 states; a much wider synthesized system may want
-    lazy per-state rows (see ROADMAP) before pooling hundreds of
-    states.
+    Row allocation is **lazy**: construction builds rows only for the
+    tracked states that actually hold members (one ``bincount`` over
+    the batch decides which), and a state that starts empty gets its
+    ``(M, n)`` row -- zero-filled, no batch scan -- the first time it
+    is referenced: the first :meth:`add` of members, or a
+    :meth:`members`/:meth:`grouped` lookup.  Memory is therefore
+    ``O(occupied_states * M * n)`` int32 (~6 MB per occupied state at
+    the paper scales M=64, n=10k; ~25 MB at M=64, n=100k) instead of
+    ``O(referenced_states * M * n)``, so a wide synthesized system with
+    dozens of mostly-empty states pays only for the states its
+    trajectory visits.  Laziness is invisible to the draw stream: an
+    empty state's row starts empty either way, and rows evolve
+    identically from there, so batch-mode results are bit-for-bit
+    unchanged by when the zeroed memory appeared.
+
+    Invariant (checked by the engine's ``_validate_consistency``): a
+    tracked state without an allocated row has no alive members --
+    every way a state gains members goes through :meth:`add` /
+    :meth:`add_many`, which allocate.
     """
 
     def __init__(
@@ -129,12 +143,16 @@ class TrialMemberPools:
     ):
         self.trials = trials
         self.n = n
-        self.slots: Dict[int, int] = {sid: i for i, sid in enumerate(sids)}
+        #: The states these pools manage.  ``slots`` maps the subset
+        #: with allocated rows to their row indices; the rest allocate
+        #: on first reference.
+        self.tracked = frozenset(int(sid) for sid in sids)
+        self.slots: Dict[int, int] = {}
         # int32 gids: half the gather/scatter traffic of the planner's
         # probe; batches are bounded far below 2**31 positions.
-        self.pool = np.zeros((len(self.slots), trials, n), dtype=np.int32)
+        self.pool = np.zeros((0, trials, n), dtype=np.int32)
         self._pool_flat = self.pool.reshape(-1)
-        self.sizes = np.zeros((len(self.slots), trials), dtype=np.int64)
+        self.sizes = np.zeros((0, trials), dtype=np.int64)
         #: Column of each pooled gid within its state's row.  Entries of
         #: gids not currently pooled are stale and never read.
         self.pos = np.zeros(trials * n, dtype=np.int64)
@@ -143,8 +161,49 @@ class TrialMemberPools:
         #: change -- near-stationary states (the endemic receptive
         #: pool) then serve their full-prob actions without a rebuild.
         self._grouped_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        for sid in self.slots:
-            self._build(sid, states_flat, alive_flat)
+        if self.tracked:
+            # One batch-wide occupancy count decides which states get
+            # rows now; empty ones wait for their first reference.
+            counted = states_flat if alive_flat is None \
+                else states_flat[alive_flat]
+            occupied = np.bincount(
+                counted, minlength=max(self.tracked) + 1
+            )
+            for sid in sorted(self.tracked):
+                if occupied[sid]:
+                    self._allocate(sid)
+                    self._build(sid, states_flat, alive_flat)
+
+    def _allocate(self, sid: int) -> int:
+        """Assign (and zero) a row for ``sid``, growing the tensor."""
+        if sid not in self.tracked:
+            raise KeyError(f"state {sid} is not tracked by these pools")
+        slot = len(self.slots)
+        if slot >= self.pool.shape[0]:
+            grow = max(1, self.pool.shape[0])
+            self.pool = np.concatenate([
+                self.pool,
+                np.zeros((grow, self.trials, self.n), dtype=np.int32),
+            ])
+            self._pool_flat = self.pool.reshape(-1)
+            self.sizes = np.concatenate([
+                self.sizes,
+                np.zeros((grow, self.trials), dtype=np.int64),
+            ])
+        self.slots[sid] = slot
+        return slot
+
+    def slot(self, sid: int) -> int:
+        """The row index of ``sid``, allocating the row on first use.
+
+        Post-construction allocation never scans the batch: a tracked
+        state without a row holds no members (see the class invariant),
+        so its fresh row is correctly empty.
+        """
+        got = self.slots.get(sid)
+        if got is None:
+            got = self._allocate(sid)
+        return got
 
     def _build(
         self,
@@ -171,7 +230,7 @@ class TrialMemberPools:
     # ------------------------------------------------------------------
     def members(self, sid: int, trial: int) -> np.ndarray:
         """One trial's members of one state (a read-only view)."""
-        slot = self.slots[sid]
+        slot = self.slot(sid)
         return self.pool[slot, trial, :self.sizes[slot, trial]]
 
     def grouped(self, sid: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -185,7 +244,7 @@ class TrialMemberPools:
         """
         got = self._grouped_cache.get(sid)
         if got is None:
-            slot = self.slots[sid]
+            slot = self.slot(sid)
             sizes = self.sizes[slot]
             bounds = np.concatenate([[0], np.cumsum(sizes)])
             total = int(bounds[-1])
@@ -338,9 +397,9 @@ class TrialMemberPools:
         seg_chunks: List[np.ndarray] = []
         total = 0
         for sid, chs in items:
-            slot = self.slots.get(sid)
-            if slot is None:
+            if sid not in self.tracked:
                 continue
+            slot = self.slot(sid)
             for chunk in chs:
                 if chunk.size:
                     self._grouped_cache.pop(sid, None)
@@ -383,9 +442,9 @@ class TrialMemberPools:
         self, sid: int, gids: np.ndarray, sorted_by_trial: bool = False
     ) -> None:
         """Append ``gids`` (not currently pooled in ``sid``) to its rows."""
-        slot = self.slots.get(sid)
-        if slot is None or gids.size == 0:
+        if sid not in self.tracked or gids.size == 0:
             return
+        slot = self.slot(sid)
         self._grouped_cache.pop(sid, None)
         n = self.n
         trials_of = gids // n
@@ -556,8 +615,27 @@ class ActionPlanner:
         self._group_has_width = [
             bool(w.any()) for w in self._group_widths
         ]
-        self._group_has_tokens = [
-            any(a.kind == "tokenize" for a in g.actions)
+        # Analytic push eligibility: a push action's movers are its
+        # *targets*, drawn by every firing actor as iid uniform peers.
+        # With the match state disjoint from the actor state, all
+        # actors see the same match mass, so the surviving matched
+        # contacts follow one exact binomial law and the movers can be
+        # sampled straight from the match pool (see _plan_push) -- no
+        # per-actor target draws, no batch-wide state checks.  A push
+        # whose match state IS its actor state keeps the explicit path
+        # (each actor excludes itself, breaking the single-q symmetry).
+        self._push_analytic = {
+            index: action.kind == "push" and action.match != action.actor
+            for index, action in enumerate(compiled)
+        }
+        # Columns lifted out of the actor-selection pass entirely:
+        # tokenize (token routing needs counts, not actor identities)
+        # and analytic push (movers come from the match pool).
+        self._group_lifted = [
+            any(
+                a.kind == "tokenize" or self._push_analytic[i]
+                for i, a in zip(g.indices, g.actions)
+            )
             for g in self.coin_groups
         ]
 
@@ -569,9 +647,10 @@ class ActionPlanner:
         # q)``, the serial engine's own conditional law) means only the
         # *movers* are ever selected; peer draws and state checks for
         # these kinds disappear from the batch hot path entirely.
-        # ``push`` keeps the explicit path (its movers are targets);
-        # protocols whose coins are all flips skip thinning statically,
-        # leaving their draw stream untouched.
+        # ``push`` movers are *targets*, handled by their own analytic
+        # law (``_plan_push``) whenever the match state differs from
+        # the actor state; protocols whose coins are all flips skip
+        # thinning statically, leaving their draw stream untouched.
         coin_kinds = {
             a.kind
             for grp in (self.coin_groups + self.fallback_groups)
@@ -654,6 +733,14 @@ class ActionPlanner:
             width = self._msg_width[index]
             if width:
                 messages += width * actor_counts
+            if self._push_analytic[index]:
+                # Every member fires, so the heads are the counts; the
+                # movers come straight from the analytic conversion law.
+                self._plan_push(
+                    plans, rng, index, action, actor_counts, counts0,
+                    segments,
+                )
+                continue
             actors = segments(action.actor)[0]
             if any_empty:
                 fireable = self._fireable(counts0, index)
@@ -681,25 +768,32 @@ class ActionPlanner:
                         @ self._group_widths[g]
                     )
                 splits = movers_all[g][:, :group.width]  # (M, A)
-                if self._group_has_tokens[g]:
-                    copied = False
+                if self._group_lifted[g]:
+                    splits = splits.copy()
                     for a, (index, action) in enumerate(
                         zip(group.indices, group.actions)
                     ):
-                        if action.kind != "tokenize":
-                            continue
-                        # Token routing needs fired counts, not actors:
-                        # lift the column out of the selection entirely.
-                        fired = splits[:, a]
-                        if fired.any():
-                            plans[index] = PlannedAction(
-                                action, _EMPTY, prefired=True,
-                                tokens=fired.astype(np.int64),
-                            )
-                        if not copied:
-                            splits = splits.copy()
-                            copied = True
-                        splits[:, a] = 0
+                        if action.kind == "tokenize":
+                            # Token routing needs fired counts, not
+                            # actors: lift the column out of the
+                            # selection entirely.
+                            fired = splits[:, a]
+                            if fired.any():
+                                plans[index] = PlannedAction(
+                                    action, _EMPTY, prefired=True,
+                                    tokens=fired.astype(np.int64),
+                                )
+                            splits[:, a] = 0
+                        elif self._push_analytic[index]:
+                            # Push movers are targets: plan them from
+                            # the match pool, never selecting actors.
+                            heads = splits[:, a]
+                            if heads.any():
+                                self._plan_push(
+                                    plans, rng, index, action, heads,
+                                    counts0, segments,
+                                )
+                            splits[:, a] = 0
                 total_take = int(splits.sum())
                 if total_take == 0:
                     continue
@@ -758,7 +852,7 @@ class ActionPlanner:
         has pools to probe.  Inputs are period-start quantities, so the
         decision is replay-deterministic.
         """
-        return sid in pools.slots and bool(np.all(take * 4 <= actor_counts))
+        return sid in pools.tracked and bool(np.all(take * 4 <= actor_counts))
 
     def _match_probability(
         self, counts0: np.ndarray, action
@@ -812,6 +906,51 @@ class ActionPlanner:
                 probability = self._match_probability(counts0, action)
                 q[g, :, a] = 1.0 if probability is None else probability
         return q
+
+    def _plan_push(
+        self,
+        plans: Dict[int, PlannedAction],
+        rng: np.random.Generator,
+        index: int,
+        action,
+        heads: np.ndarray,
+        counts0: np.ndarray,
+        segments: Segments,
+    ) -> None:
+        """Select a push action's movers directly: targets, not actors.
+
+        A firing push actor's ``fanout`` contacts are iid uniform over
+        its ``n - 1`` peers, each independently surviving the
+        connection-failure coin; a contact *converts* its target iff
+        the target is an alive member of the match state.  With the
+        match state disjoint from the actor state (the eligibility
+        condition), every contact hits a match member with the same
+        exact probability ``q = (1 - f) * c_match / (n - 1)`` (dead
+        hosts keep their slot and fail the check, so ``c_match`` is the
+        alive count), and conditional on hitting, the hit member is iid
+        uniform over the match pool.  The period's surviving matched
+        contacts are therefore ``K ~ Binomial(heads * fanout, q)`` and
+        the movers are the distinct members among ``K`` uniform pool
+        positions -- the serial engine's own conversion law
+        (``unique(targets[ok])``), reached without drawing a single
+        per-actor target or scanning a single state array.  A trial
+        whose match state is empty draws nothing at all, and message
+        accounting still charges every head's contacts upstream.
+        """
+        survive = 1.0 - self._failure
+        q = np.clip(
+            counts0[:, action.match] * (survive / (self.n - 1)), 0.0, 1.0
+        )
+        hits = rng.binomial(heads * action.fanout, q)
+        if not hits.any():
+            return
+        grouped, bounds = segments(action.match)
+        sizes = np.diff(bounds)
+        positions = rng.integers(0, np.repeat(sizes, hits))
+        movers = np.unique(
+            grouped[np.repeat(bounds[:-1], hits) + positions]
+        )
+        plans[index] = PlannedAction(action, movers, prefired=True)
 
     def _fireable(
         self, counts0: np.ndarray, index: int
@@ -921,7 +1060,7 @@ class ActionPlanner:
 
         n_segments = len(batch_groups) * trials
         need = np.concatenate([take for _, _, take in batch_groups])
-        slots = [pools.slots[group.sid] for group, _, _ in batch_groups]
+        slots = [pools.slot(group.sid) for group, _, _ in batch_groups]
         seg_sizes = np.concatenate([pools.sizes[s] for s in slots])
         group_max = np.array(
             [int(pools.sizes[s].max()) for s in slots], dtype=np.int64
@@ -1060,6 +1199,12 @@ class ActionPlanner:
             width = self._msg_width[index]
             if width:
                 messages += width * heads
+            if self._push_analytic[index]:
+                if heads.any():
+                    self._plan_push(
+                        plans, rng, index, action, heads, counts0, segments,
+                    )
+                continue
             match_probability = self._match_probability(counts0, action)
             if match_probability is not None:
                 heads = rng.binomial(heads, match_probability)

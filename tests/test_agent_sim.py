@@ -31,7 +31,10 @@ class TestBasicRuns:
             initial={"x": 99, "y": 1}, seed=2,
         )
         recorder = sim.run(10)
-        assert len(recorder.times) == 10
+        # Period 0 is recorded up front (the round engines' convention),
+        # so 10 periods yield 11 samples aligned with the other tiers.
+        assert len(recorder.times) == 11
+        assert recorder.times[0] == 0
         series = recorder.counts("y")
         assert series[-1] >= series[0]
 

@@ -1,0 +1,101 @@
+"""Tests for the unified execution layer (repro.runtime.exec)."""
+
+import pytest
+
+from repro.runtime import ExecutionPlan, WorkUnit, run_plan
+
+
+def double(payload):
+    return payload * 2
+
+
+def boom(payload):
+    raise RuntimeError(f"unit {payload} exploded")
+
+
+def plan_of(values, merge=list, **kwargs):
+    return ExecutionPlan(
+        units=[WorkUnit(runner=double, payload=v) for v in values],
+        merge=merge,
+        **kwargs,
+    )
+
+
+class TestRunPlan:
+    def test_merge_sees_unit_order(self):
+        assert run_plan(plan_of([3, 1, 2])) == [6, 2, 4]
+
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_result_is_worker_independent(self, workers):
+        assert run_plan(plan_of(list(range(7))), workers=workers) == [
+            2 * v for v in range(7)
+        ]
+
+    def test_on_unit_streams_every_unit(self):
+        seen = {}
+        run_plan(
+            plan_of([5, 6, 7]),
+            on_unit=lambda index, output: seen.__setitem__(index, output),
+        )
+        assert seen == {0: 10, 1: 12, 2: 14}
+
+    def test_mergeless_plan_returns_none(self):
+        outputs = []
+        result = run_plan(
+            plan_of([1, 2], merge=None),
+            on_unit=lambda index, output: outputs.append((index, output)),
+        )
+        assert result is None
+        assert sorted(outputs) == [(0, 2), (1, 4)]
+
+    def test_single_unit_never_pools(self):
+        # One unit with many workers runs in-process (no pool spawn).
+        assert run_plan(plan_of([4]), workers=16) == [8]
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_plan(plan_of([1]), workers=0)
+
+    def test_unit_errors_propagate(self):
+        plan = ExecutionPlan(
+            units=[WorkUnit(runner=boom, payload=1)], merge=list
+        )
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_plan(plan)
+
+
+class TestSerialFallback:
+    def test_unpicklable_payload_warns_and_matches_serial(self):
+        values = [1, 2, 3, 4]
+        serial = run_plan(plan_of(values), workers=1)
+        plan = ExecutionPlan(
+            units=[
+                # A lambda runner cannot cross a process boundary.
+                WorkUnit(runner=lambda v: v * 2, payload=v)
+                for v in values
+            ],
+            merge=list,
+            label="fallback-test",
+        )
+        with pytest.warns(RuntimeWarning, match="unpicklable"):
+            pooled = run_plan(plan, workers=3)
+        assert pooled == serial
+
+    def test_unpicklable_initializer_falls_back(self):
+        """The fallback covers the initializer, not just the units."""
+        plan = ExecutionPlan(
+            units=[WorkUnit(runner=double, payload=v) for v in (1, 2, 3)],
+            merge=list,
+            initializer=lambda: None,
+        )
+        with pytest.warns(RuntimeWarning, match="unpicklable"):
+            assert run_plan(plan, workers=2) == [2, 4, 6]
+
+    def test_fallback_warning_names_the_plan(self):
+        plan = ExecutionPlan(
+            units=[WorkUnit(runner=lambda v: v, payload=v) for v in (1, 2)],
+            merge=list,
+            label="my-campaign",
+        )
+        with pytest.warns(RuntimeWarning, match="my-campaign"):
+            run_plan(plan, workers=2)

@@ -512,4 +512,4 @@ class TestResultConstruction:
             )
 
     def test_engines_constant(self):
-        assert ENGINES == ("auto", "serial", "batch", "lockstep")
+        assert ENGINES == ("auto", "serial", "batch", "lockstep", "agent")

@@ -18,7 +18,7 @@ from repro.protocols.lv import lv_protocol
 from repro.runtime import BatchRoundEngine, RoundEngine, TrialMemberPools
 from repro.runtime.planner import ActionPlanner
 from repro.runtime.round_engine import _compile
-from repro.synthesis.actions import FlipAction, SampleAction
+from repro.synthesis.actions import FlipAction, PushAction, SampleAction
 from repro.synthesis.protocol import ProtocolSpec
 
 
@@ -355,6 +355,288 @@ class TestTrialMemberPools:
         after, _ = pools.grouped(0)
         assert after.size == before.size - 1
         self.check(pools, states)
+
+
+def push_spec(probability=1.0, fanout=2, match_state="m", extra=()):
+    """One push action from actor state ``a`` converting ``m`` -> ``t``."""
+    actions = (
+        PushAction(
+            actor_state="a", probability=probability, target_state="t",
+            match_state=match_state, fanout=fanout,
+        ),
+    ) + tuple(extra)
+    return ProtocolSpec(
+        name="push-law", states=("a", "m", "t"), actions=actions,
+    )
+
+
+class TestAnalyticPushLaw:
+    """The batched push conversion law (movers are *targets*).
+
+    Each firing actor's ``fanout`` contacts are iid uniform non-self
+    peers, so with the match state disjoint from the actor state a
+    match member is converted with probability
+    ``1 - (1 - (1 - f)/(n - 1))**contacts`` -- the serial engine's own
+    law.  The batch planner must reproduce it without drawing per-actor
+    targets.
+    """
+
+    def expected_conversions(self, contacts, c_match, n, f=0.0):
+        per_contact = (1.0 - f) / (n - 1)
+        return c_match * (1.0 - (1.0 - per_contact) ** contacts)
+
+    def accumulate(self, engine, layout, periods, edge=("m", "t")):
+        total = 0
+        for _ in range(periods):
+            reset_all(engine, layout)
+            transitions = engine.step()
+            count = transitions.get(edge, 0)
+            total += int(np.sum(count))
+        return total
+
+    def test_full_push_matches_analytic_mean(self):
+        """probability >= 1: every actor fires, conversions exact."""
+        n, trials, periods = 1_000, 4, 120
+        a, m = 300, 500
+        spec = push_spec(probability=1.0, fanout=2)
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials,
+            initial={"a": a, "m": m, "t": n - a - m}, seed=31,
+        )
+        layout = [("a", a), ("m", m), ("t", n - a - m)]
+        total = self.accumulate(engine, layout, periods)
+        expected = self.expected_conversions(a * 2, m, n)
+        # Conversions of different members share contacts, so the count
+        # is not exactly binomial; the dependence is O(contacts/n) and
+        # well inside the z bound at these sizes.
+        assert_binomial_count(
+            total, trials * periods * m, expected / m,
+            context="full-probability push conversions",
+        )
+
+    def test_serial_engine_shares_the_same_law(self):
+        n, periods = 1_000, 400
+        a, m = 300, 500
+        spec = push_spec(probability=1.0, fanout=2)
+        engine = RoundEngine(
+            spec, n=n, initial={"a": a, "m": m, "t": n - a - m}, seed=32
+        )
+        hosts = np.arange(n)
+        total = 0
+        for _ in range(periods):
+            engine.set_states(hosts[:a], "a")
+            engine.set_states(hosts[a:a + m], "m")
+            engine.set_states(hosts[a + m:], "t")
+            total += engine.step().get(("m", "t"), 0)
+        expected = self.expected_conversions(a * 2, m, n)
+        assert_binomial_count(
+            total, periods * m, expected / m,
+            context="serial push conversions",
+        )
+
+    def test_loss_rate_folds_into_the_law(self):
+        n, trials, periods = 1_000, 4, 120
+        a, m = 300, 500
+        spec = push_spec(probability=1.0, fanout=2)
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials,
+            initial={"a": a, "m": m, "t": n - a - m}, seed=33,
+            connection_failure_rate=0.4,
+        )
+        layout = [("a", a), ("m", m), ("t", n - a - m)]
+        total = self.accumulate(engine, layout, periods)
+        expected = self.expected_conversions(a * 2, m, n, f=0.4)
+        assert_binomial_count(
+            total, trials * periods * m, expected / m,
+            context="lossy push conversions",
+        )
+
+    def test_coin_push_matches_compound_law(self):
+        """0 < probability < 1: heads are multinomial-split actors."""
+        n, trials, periods = 1_000, 4, 150
+        a, m = 300, 500
+        probability, fanout = 0.3, 2
+        spec = push_spec(probability=probability, fanout=fanout)
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials,
+            initial={"a": a, "m": m, "t": n - a - m}, seed=34,
+        )
+        compiled_kinds = [
+            (g.sid, [x.kind for x in g.actions])
+            for g in engine._planner.coin_groups
+        ]
+        assert compiled_kinds, "coin push must form a coin group"
+        layout = [("a", a), ("m", m), ("t", n - a - m)]
+        total = self.accumulate(engine, layout, periods)
+        # E[conversions] = c_m * (1 - E[(1 - s)**(H*fanout)]) with
+        # H ~ Binomial(a, p): the inner expectation is the binomial
+        # generating function at (1 - s)**fanout.
+        per_contact = 1.0 / (n - 1)
+        miss = (1.0 - per_contact) ** fanout
+        gen = (1.0 - probability + probability * miss) ** a
+        expected = m * (1.0 - gen)
+        assert_binomial_count(
+            total, trials * periods * m, expected / m,
+            context="coin push conversions",
+        )
+
+    def test_empty_match_state_draws_nothing(self):
+        """A trial with no match members plans no push work at all."""
+        n, trials = 400, 3
+        spec = push_spec(probability=1.0, fanout=2)
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials, initial={"a": n}, seed=35
+        )
+        transitions = engine.step()
+        assert ("m", "t") not in transitions
+        engine._validate_consistency()
+        # Messages still charge every actor's contacts.
+        assert np.array_equal(
+            engine.total_messages, np.full(trials, 2 * n, dtype=np.int64)
+        )
+
+    def test_self_match_push_keeps_explicit_path(self):
+        """match == actor breaks the single-q symmetry: no analytic plan."""
+        actions = (
+            PushAction(
+                actor_state="a", probability=1.0, target_state="t",
+                match_state="a", fanout=2,
+            ),
+        )
+        spec = ProtocolSpec(
+            name="self-push", states=("a", "t"), actions=actions
+        )
+        engine = BatchRoundEngine(
+            spec, n=400, trials=3, initial={"a": 300, "t": 100}, seed=36
+        )
+        assert not any(engine._planner._push_analytic.values())
+        engine.run(5)
+        engine._validate_consistency()
+
+    def test_fallback_group_push(self):
+        """A psum > 1 state still converts pushes through the law."""
+        n, trials, periods = 1_000, 4, 120
+        a, m = 300, 500
+        extra = (
+            FlipAction(actor_state="a", probability=0.6, target_state="t"),
+        )
+        spec = push_spec(probability=0.6, fanout=2, extra=extra)
+        engine = BatchRoundEngine(
+            spec, n=n, trials=trials,
+            initial={"a": a, "m": m, "t": n - a - m}, seed=37,
+        )
+        assert engine._planner.fallback_groups
+        layout = [("a", a), ("m", m), ("t", n - a - m)]
+        total = self.accumulate(engine, layout, periods)
+        per_contact = 1.0 / (n - 1)
+        miss = (1.0 - per_contact) ** 2
+        gen = (1.0 - 0.6 + 0.6 * miss) ** a
+        expected = m * (1.0 - gen)
+        assert_binomial_count(
+            total, trials * periods * m, expected / m,
+            context="fallback push conversions",
+        )
+
+    def test_lockstep_push_is_bit_identical_to_serial(self):
+        """The analytic law is batch-mode only; lockstep must not move."""
+        from repro.protocols.epidemic import push_protocol
+        from repro.runtime import serial_ensemble
+
+        spec = push_protocol()
+        initial = {"x": 380, "y": 20}
+        recorders, seeds = serial_ensemble(
+            spec, n=400, trials=3, initial=initial, periods=15, seed=38
+        )
+        engine = BatchRoundEngine(
+            spec, n=400, trials=3, initial=initial, seed=38,
+            mode="lockstep",
+        )
+        from repro.runtime import BatchMetricsRecorder
+
+        recorder = BatchMetricsRecorder(spec.states, 3)
+        engine.run(15, recorder=recorder)
+        assert list(engine.trial_seeds) == list(seeds)
+        for trial, serial_recorder in enumerate(recorders):
+            for index, state in enumerate(spec.states):
+                assert np.array_equal(
+                    recorder.counts(state)[trial],
+                    serial_recorder.counts(state),
+                )
+
+
+class TestLazyPoolRows:
+    def test_construction_allocates_only_occupied_states(self):
+        trials, n = 3, 50
+        states = np.zeros(trials * n, dtype=np.int8)  # everyone in 0
+        pools = TrialMemberPools([0, 1, 2], trials, n, states)
+        assert set(pools.slots) == {0}
+        assert pools.tracked == frozenset({0, 1, 2})
+        assert pools.pool.shape[0] >= 1
+
+    def test_read_of_empty_state_allocates_empty_row(self):
+        trials, n = 3, 50
+        states = np.zeros(trials * n, dtype=np.int8)
+        pools = TrialMemberPools([0, 1, 2], trials, n, states)
+        grouped, bounds = pools.grouped(2)
+        assert grouped.size == 0
+        assert 2 in pools.slots
+        assert np.array_equal(bounds, np.zeros(trials + 1, dtype=np.int64))
+
+    def test_add_allocates_and_appends(self):
+        trials, n = 3, 50
+        states = np.zeros(trials * n, dtype=np.int8)
+        pools = TrialMemberPools([0, 1, 2], trials, n, states)
+        movers = np.array([3, 60, 110], dtype=np.int64)
+        pools.remove(0, movers)
+        pools.add_many([(1, [movers])])
+        states[movers] = 1
+        assert 1 in pools.slots
+        grouped, _ = pools.grouped(1)
+        assert np.array_equal(np.sort(grouped), movers)
+
+    def test_untracked_state_rejected(self):
+        pools = TrialMemberPools([0], 2, 10, np.zeros(20, dtype=np.int8))
+        with pytest.raises(KeyError, match="not tracked"):
+            pools.slot(5)
+
+    def test_growth_preserves_existing_rows(self):
+        trials, n = 2, 40
+        rng = np.random.Generator(np.random.MT19937(3))
+        states = rng.integers(0, 2, size=trials * n).astype(np.int8)
+        sids = list(range(6))
+        pools = TrialMemberPools(sids, trials, n, states)
+        before = {
+            sid: np.sort(pools.grouped(sid)[0]).copy() for sid in (0, 1)
+        }
+        # Touch the empty states one by one, forcing repeated growth.
+        for sid in (2, 3, 4, 5):
+            assert pools.grouped(sid)[0].size == 0
+        for sid in (0, 1):
+            assert np.array_equal(np.sort(pools.grouped(sid)[0]), before[sid])
+
+    def test_engine_allocates_rows_as_states_populate(self):
+        """A wide chain protocol pays only for visited states."""
+        width = 8
+        states = tuple(f"s{i}" for i in range(width))
+        actions = tuple(
+            FlipAction(
+                actor_state=f"s{i}", probability=0.5,
+                target_state=f"s{i + 1}",
+            )
+            for i in range(width - 1)
+        )
+        spec = ProtocolSpec(name="chain", states=states, actions=actions)
+        engine = BatchRoundEngine(
+            spec, n=200, trials=3, initial={"s0": 200}, seed=40
+        )
+        assert set(engine._pools.slots) == {0}
+        engine.run(2)
+        engine._validate_consistency()
+        allocated_early = len(engine._pools.slots)
+        assert allocated_early < width
+        engine.run(30)
+        engine._validate_consistency()
+        assert len(engine._pools.slots) >= allocated_early
 
 
 class TestPlannerStatics:
