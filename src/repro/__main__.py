@@ -47,6 +47,7 @@ from .campaign import (
     verify_replay,
 )
 from .experiment import ENGINES, Experiment, Protocol, parse_param_directives
+from .runtime.exec import ON_ERROR_MODES, FaultPolicy
 from .odes import ParseError, auto_rewrite, classify, find_equilibria, integrate, parse_system
 from .runtime import MetricsRecorder, RoundEngine
 from .synthesis import SynthesisError, synthesize
@@ -233,6 +234,8 @@ def cmd_run(args) -> int:
             else args.scenario,
             seed=args.seed, engine=args.engine, loss_rate=args.loss_rate,
             stride=args.stride, initial=initial, workers=args.workers,
+            on_error=args.on_error, retries=args.retries,
+            unit_timeout=args.unit_timeout,
         )
         result = experiment.run()
     except (KeyError, ValueError, TypeError) as exc:
@@ -263,7 +266,14 @@ def cmd_run(args) -> int:
         print()
         print(spec.render())
     print()
-    print(f"ensemble trajectory summary over {args.trials} trial(s) "
+    if result.failures:
+        print(f"warning: {len(result.failures)} work unit(s) failed "
+              f"terminally and were skipped (on-error=skip); the "
+              f"summary covers the {result.trials} surviving trial(s)")
+        for failure in result.failures:
+            print(f"  {failure.label or f'unit {failure.index}'}: "
+                  f"{failure.error} (after {failure.attempts} attempts)")
+    print(f"ensemble trajectory summary over {result.trials} trial(s) "
           f"({result.elapsed_seconds:.2f}s):")
     print(result.render_summary())
     print()
@@ -312,13 +322,21 @@ def cmd_analyze_campaign(args) -> int:
           f"{len(points)} point(s)"
           + (f", created {provenance['created']}"
              if "created" in provenance else ""))
+    if manifest.get("complete") is False:
+        print(f"note: campaign is incomplete; finish it with "
+              f"`python -m repro campaign --resume {directory}`")
     import numpy as np
 
     failures = 0
     for entry in points:
         tensor_name = entry.get("tensor")
         label = entry.get("label", f"point {entry.get('index', '?')}")
+        status = entry.get("status", "done")
         print()
+        if status != "done":
+            print(f"{label}: not completed (status {status!r})")
+            failures += 1
+            continue
         if not tensor_name:
             print(f"{label}: no tensor recorded")
             failures += 1
@@ -354,6 +372,19 @@ def cmd_analyze_campaign(args) -> int:
              "max"],
             rows,
         ))
+    referenced = {entry.get("tensor") for entry in points
+                  if entry.get("tensor")}
+    orphans = sorted(path.name for path in directory.glob("*.npz")
+                     if path.name not in referenced)
+    if orphans:
+        print()
+        print(f"{len(orphans)} orphaned tensor file(s) not referenced "
+              f"by the manifest (stale or from an interrupted run):")
+        for name in orphans:
+            print(f"  {name}")
+        print(f"`python -m repro campaign --resume {directory}` "
+              f"completes an interrupted campaign; orphans can be "
+              f"deleted safely.")
     return 1 if failures else 0
 
 
@@ -409,6 +440,17 @@ def _campaign_spec_from_args(args) -> CampaignSpec:
     )
 
 
+def _fault_policy_from_args(args) -> Optional[FaultPolicy]:
+    try:
+        return FaultPolicy(
+            on_error=args.on_error,
+            retries=args.retries,
+            timeout_seconds=args.unit_timeout,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid fault policy: {exc}")
+
+
 def cmd_campaign(args) -> int:
     if args.workers < 1:
         print(f"invalid campaign: workers must be >= 1, got {args.workers}",
@@ -441,6 +483,9 @@ def cmd_campaign(args) -> int:
                 ("--out", bool(args.out)),
                 ("--save-tensors", bool(args.save_tensors)),
                 ("--dry-run", args.dry_run),
+                ("--resume", bool(args.resume)),
+                ("--on-error", args.on_error != "raise"),
+                ("--unit-timeout", args.unit_timeout is not None),
             ) if present
         ]
         if conflicting:
@@ -475,6 +520,83 @@ def cmd_campaign(args) -> int:
         print(f"all {len(stored.results)} points reproduced bit-for-bit")
         return 0
 
+    def progress(result):
+        top = max(result.summary, key=lambda s: result.summary[s]["mean"])
+        print(f"  {result.point.label}: {result.elapsed_seconds:.2f}s, "
+              f"dominant state {top} "
+              f"(mean {result.summary[top]['mean']:.1f})")
+
+    if args.resume:
+        # A resume continues the checkpointed campaign exactly as its
+        # manifest records it; rejecting grid/axis flags beats silently
+        # resuming with parameters the user thinks they overrode.
+        conflicting = [
+            flag for flag, present in (
+                ("--config", bool(args.config)),
+                ("--protocol", bool(args.protocol)),
+                ("--equations", bool(args.equations)),
+                ("--n", bool(args.n)),
+                ("--loss-rate", bool(args.loss_rate)),
+                ("--scenario", bool(args.scenario)),
+                ("--name", args.name is not None),
+                ("--trials", args.trials is not None),
+                ("--periods", args.periods is not None),
+                ("--seed", args.seed is not None),
+                ("--stride", args.stride is not None),
+                ("--mode", args.mode is not None),
+                ("--shards", args.shards is not None),
+                ("--save-tensors", bool(args.save_tensors)),
+                ("--dry-run", args.dry_run),
+            ) if present
+        ]
+        if conflicting:
+            print(
+                f"invalid campaign: {', '.join(conflicting)} cannot be "
+                f"combined with --resume; the campaign's parameters come "
+                f"from the checkpointed manifest (only --workers, --out "
+                f"and the fault-policy flags apply)",
+                file=sys.stderr,
+            )
+            return 1
+        directory = Path(args.resume)
+        try:
+            manifest = load_manifest(directory)
+        except FileNotFoundError:
+            print(f"{directory} has no manifest.json; only campaigns run "
+                  f"with --save-tensors are resumable", file=sys.stderr)
+            return 1
+        except (ValueError, KeyError) as exc:
+            print(f"invalid manifest: {exc}", file=sys.stderr)
+            return 1
+        try:
+            spec = CampaignSpec.from_dict(manifest["spec"])
+        except (KeyError, TypeError, ValueError) as exc:
+            print(f"invalid manifest spec: {exc}", file=sys.stderr)
+            return 1
+        entries = manifest.get("points", [])
+        done = sum(1 for e in entries if e.get("status") == "done")
+        print(f"resuming campaign {spec.name!r} from {directory}: "
+              f"{done} of {len(entries)} point(s) already complete")
+        try:
+            result = run_campaign(
+                spec, workers=args.workers, progress=progress,
+                resume=args.resume,
+                fault_policy=_fault_policy_from_args(args),
+            )
+        except (ValueError, KeyError, RuntimeError) as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 1
+        print(f"campaign complete: {len(result.results)} point result(s) "
+              f"in {directory}")
+        if result.failures:
+            print(f"{len(result.failures)} work unit(s) failed terminally "
+                  f"and were skipped; re-run with --resume to retry them",
+                  file=sys.stderr)
+        if args.out:
+            Path(args.out).write_text(result.to_json())
+            print(f"wrote {len(result.results)} point results to {args.out}")
+        return 1 if result.failures else 0
+
     try:
         spec = _campaign_spec_from_args(args)
         points = spec.expand()
@@ -497,15 +619,10 @@ def cmd_campaign(args) -> int:
         print("dry run: nothing executed")
         return 0
 
-    def progress(result):
-        top = max(result.summary, key=lambda s: result.summary[s]["mean"])
-        print(f"  {result.point.label}: {result.elapsed_seconds:.2f}s, "
-              f"dominant state {top} "
-              f"(mean {result.summary[top]['mean']:.1f})")
-
     result = run_campaign(
         spec, workers=args.workers, progress=progress,
         save_tensors=args.save_tensors,
+        fault_policy=_fault_policy_from_args(args),
     )
     if args.out:
         Path(args.out).write_text(result.to_json())
@@ -513,6 +630,13 @@ def cmd_campaign(args) -> int:
     if args.save_tensors:
         print(f"wrote {len(result.results)} count tensors and "
               f"manifest.json to {args.save_tensors}")
+    if result.failures:
+        print(f"{len(result.failures)} work unit(s) failed terminally and "
+              f"were skipped"
+              + ("; re-run with --resume to retry them"
+                 if args.save_tensors else ""),
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -575,6 +699,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "and the shard count is part of the run's "
                             "stream identity; agent: whole trials fan "
                             "out, results are worker-independent)")
+    p_run.add_argument("--on-error", choices=ON_ERROR_MODES,
+                       default="raise",
+                       help="work-unit fault policy on the execution "
+                            "layer (agent tier, or --workers > 1): "
+                            "raise aborts on the first unit failure, "
+                            "retry re-runs the same payload with "
+                            "capped backoff (bitwise identical), skip "
+                            "keeps the surviving trials and reports "
+                            "the losses")
+    p_run.add_argument("--retries", type=int, default=2,
+                       help="extra attempts per work unit under "
+                            "--on-error retry/skip (default 2)")
+    p_run.add_argument("--unit-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock bound per work-unit attempt; "
+                            "an expired attempt fails like any other "
+                            "fault")
     p_run.add_argument("--show-protocol", action="store_true",
                        help="print the synthesized state machine")
     p_run.add_argument("--plot", action="store_true",
@@ -677,6 +818,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--replay", metavar="RESULTS_JSON",
                         help="re-run a stored results file and verify it "
                              "reproduces bit-for-bit")
+    p_camp.add_argument("--resume", metavar="DIR",
+                        help="continue an interrupted campaign from the "
+                             "manifest checkpointed in DIR (written by "
+                             "--save-tensors): completed points are "
+                             "restored, only missing ones re-run, and "
+                             "the final results are bitwise identical "
+                             "to an uninterrupted run")
+    p_camp.add_argument("--on-error", choices=ON_ERROR_MODES,
+                        default="raise",
+                        help="work-unit fault policy: raise aborts the "
+                             "campaign on the first failure (completed "
+                             "points stay checkpointed), retry re-runs "
+                             "the same unit payload with capped backoff "
+                             "(bitwise identical), skip isolates the "
+                             "failure to its point and completes the "
+                             "rest")
+    p_camp.add_argument("--retries", type=int, default=2,
+                        help="extra attempts per work unit under "
+                             "--on-error retry/skip (default 2)")
+    p_camp.add_argument("--unit-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock bound per work-unit attempt")
     p_camp.set_defaults(func=cmd_campaign)
 
     p_analyze_campaign = sub.add_parser(

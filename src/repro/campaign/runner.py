@@ -37,7 +37,13 @@ import numpy as np
 
 from ..experiment.scenario import Scenario
 from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
-from ..runtime.exec import ExecutionPlan, WorkUnit, run_plan
+from ..runtime.exec import (
+    ExecutionPlan,
+    FaultPolicy,
+    UnitFailure,
+    WorkUnit,
+    run_plan,
+)
 from ..runtime.parallel import shard_layout
 from .grid import CampaignPoint, CampaignSpec
 from .registry import custom_entries, install_entries, resolve_protocol
@@ -104,15 +110,26 @@ class PointResult:
 
 @dataclass
 class CampaignResult:
-    """All point results of a campaign, JSON round-trippable."""
+    """All point results of a campaign, JSON round-trippable.
+
+    ``results`` holds the completed points in grid order.  Under a
+    skipping fault policy (``FaultPolicy(on_error="skip")``) points
+    whose units failed terminally are *absent* from ``results`` and
+    recorded on :attr:`failures` instead -- partial results with the
+    losses named, never silently shortened.
+    """
 
     spec: CampaignSpec
     results: List[PointResult] = field(default_factory=list)
+    #: Terminal unit failures (as dicts: index, label, error,
+    #: traceback, attempts) recorded by a skipping fault policy.
+    failures: List[Dict] = field(default_factory=list)
 
     def to_dict(self) -> Dict:
         return {
             "spec": self.spec.to_dict(),
             "results": [r.to_dict() for r in self.results],
+            "failures": list(self.failures),
         }
 
     @classmethod
@@ -120,6 +137,7 @@ class CampaignResult:
         return cls(
             spec=CampaignSpec.from_dict(data["spec"]),
             results=[PointResult.from_dict(r) for r in data["results"]],
+            failures=list(data.get("failures", [])),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -297,16 +315,22 @@ def _save_tensor(
     ``trial_seeds`` order, ``periods``/``states``/``trial_seeds`` label
     its axes, and ``point_json`` carries the producing point for
     provenance (``json.loads(str(...))`` round-trips it).
+
+    Written atomically (tmp + rename): a crash mid-write can never
+    leave a truncated ``.npz`` that a later ``--resume`` would trust.
     """
     name = _tensor_file_name(spec_name, index)
-    np.savez_compressed(
-        directory / name,
-        counts=tensor,
-        periods=np.asarray(result.recorded_periods, dtype=np.int64),
-        states=np.asarray(result.states),
-        trial_seeds=np.asarray(result.trial_seeds, dtype=np.uint64),
-        point_json=np.asarray(json.dumps(result.point.to_dict())),
-    )
+    tmp = directory / (name + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            counts=tensor,
+            periods=np.asarray(result.recorded_periods, dtype=np.int64),
+            states=np.asarray(result.states),
+            trial_seeds=np.asarray(result.trial_seeds, dtype=np.uint64),
+            point_json=np.asarray(json.dumps(result.point.to_dict())),
+        )
+    os.replace(tmp, directory / name)
     return name
 
 
@@ -314,47 +338,79 @@ def _save_tensor(
 MANIFEST_NAME = "manifest.json"
 
 
-def _write_manifest(
-    directory: Path, spec: CampaignSpec, results: List[PointResult]
-) -> None:
-    """Write the campaign-level ``manifest.json`` into the tensors dir.
-
-    One file indexes every point of the campaign -- its parameters,
-    seeds, tensor file and summary provenance -- so offline analysis
-    loads the manifest instead of globbing and re-parsing per-point
-    ``.npz`` files.  ``SOURCE_DATE_EPOCH`` pins the ``created`` stamp
-    for byte-identical reruns.
-    """
+def _created_stamp() -> str:
+    """The manifest's creation time (``SOURCE_DATE_EPOCH`` pins it)."""
     epoch = os.environ.get("SOURCE_DATE_EPOCH")
     if epoch is not None:
-        created = datetime.datetime.fromtimestamp(
+        return datetime.datetime.fromtimestamp(
             int(epoch), tz=datetime.timezone.utc
         ).isoformat()
-    else:
-        created = datetime.datetime.now(tz=datetime.timezone.utc).isoformat()
-    manifest = {
+    return datetime.datetime.now(tz=datetime.timezone.utc).isoformat()
+
+
+def _write_json_atomic(path: Path, data: Dict) -> None:
+    """Write JSON via tmp + rename, so readers never see a torn file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(data, indent=2))
+    os.replace(tmp, path)
+
+
+def _pending_entry(index: int, point: CampaignPoint) -> Dict:
+    """A planned-but-not-finished point's manifest entry."""
+    return {
+        "index": index,
+        "label": point.label,
+        "point": point.to_dict(),
+        "status": "pending",
+    }
+
+
+def _done_entry(index: int, result: PointResult) -> Dict:
+    """A completed point's manifest entry.
+
+    Keeps the legacy top-level keys (``tensor``, ``states``,
+    ``trial_seeds``, ...) for offline consumers, and additionally
+    embeds the full :meth:`PointResult.to_dict` so ``--resume`` can
+    restore the point without re-running it.
+    """
+    return {
+        "index": index,
+        "label": result.point.label,
+        "point": result.point.to_dict(),
+        "status": "done",
+        "tensor": result.tensor_path,
+        "states": list(result.states),
+        "trial_seeds": list(result.trial_seeds),
+        "recorded_periods": list(result.recorded_periods),
+        "elapsed_seconds": result.elapsed_seconds,
+        "result": result.to_dict(),
+    }
+
+
+def _manifest_data(spec: CampaignSpec, entries: List[Dict]) -> Dict:
+    """The campaign-level manifest: one entry per planned point.
+
+    One file indexes every point of the campaign -- its parameters,
+    completion status, seeds, tensor file and summary provenance -- so
+    offline analysis loads the manifest instead of globbing per-point
+    ``.npz`` files, and an interrupted campaign can be resumed from it
+    (``complete`` is true only once every point is ``done``).
+    ``SOURCE_DATE_EPOCH`` pins the ``created`` stamp for byte-identical
+    reruns.
+    """
+    return {
         "campaign": spec.name,
         "spec": spec.to_dict(),
-        "points": [
-            {
-                "index": index,
-                "label": result.point.label,
-                "point": result.point.to_dict(),
-                "tensor": result.tensor_path,
-                "states": list(result.states),
-                "trial_seeds": list(result.trial_seeds),
-                "recorded_periods": list(result.recorded_periods),
-                "elapsed_seconds": result.elapsed_seconds,
-            }
-            for index, result in enumerate(results)
-        ],
+        "complete": all(
+            entry.get("status") == "done" for entry in entries
+        ),
+        "points": entries,
         "provenance": {
-            "created": created,
+            "created": _created_stamp(),
             "python": platform.python_version(),
             "numpy": np.__version__,
         },
     }
-    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
 
 
 def load_manifest(directory) -> Dict:
@@ -362,11 +418,62 @@ def load_manifest(directory) -> Dict:
     return json.loads((Path(directory) / MANIFEST_NAME).read_text())
 
 
+def _restore_completed(
+    resume_dir: Path, spec: CampaignSpec, points: List[CampaignPoint]
+) -> Dict[int, PointResult]:
+    """Load the completed points of a partial campaign manifest.
+
+    Verifies spec identity first: resuming under a different spec
+    would splice points from two different campaigns into one result,
+    so anything but an exact ``spec.to_dict()`` match is an error.
+    Entries count as restorable only when they are ``done``, embed
+    their ``result``, match the re-expanded point exactly, and their
+    tensor file (when one was recorded) still exists -- anything else
+    is simply re-run, which is always correct (points are
+    deterministic in their seeds).
+    """
+    try:
+        manifest = load_manifest(resume_dir)
+    except FileNotFoundError:
+        raise ValueError(
+            f"{resume_dir} has no {MANIFEST_NAME}; only campaigns run "
+            f"with save_tensors (--save-tensors) are resumable"
+        )
+    if manifest.get("spec") != spec.to_dict():
+        raise ValueError(
+            f"resume spec mismatch: the manifest in {resume_dir} was "
+            f"written by a different campaign spec; --resume re-runs "
+            f"the recorded campaign, it does not reconfigure it"
+        )
+    restored: Dict[int, PointResult] = {}
+    for entry in manifest.get("points", []):
+        if entry.get("status") != "done" or "result" not in entry:
+            continue
+        index = entry.get("index")
+        if not isinstance(index, int) or not 0 <= index < len(points):
+            continue
+        result = PointResult.from_dict(entry["result"])
+        if result.point.to_dict() != points[index].to_dict():
+            raise ValueError(
+                f"resume manifest entry {index} records point "
+                f"{result.point.label!r}, but the spec expands to "
+                f"{points[index].label!r} there"
+            )
+        if result.tensor_path is not None and not (
+            resume_dir / result.tensor_path
+        ).is_file():
+            continue
+        restored[index] = result
+    return restored
+
+
 def run_campaign(
     spec: CampaignSpec,
     workers: int = 1,
     progress: Optional[Callable[[PointResult], None]] = None,
     save_tensors: Optional[str] = None,
+    resume: Optional[str] = None,
+    fault_policy: Optional[FaultPolicy] = None,
 ) -> CampaignResult:
     """Run every point of the campaign grid.
 
@@ -385,24 +492,76 @@ def run_campaign(
     :class:`PointResult.tensor_path` records its file, and a
     campaign-level ``manifest.json`` (see :func:`load_manifest`)
     indexes every point's parameters, seeds and tensor path for
-    offline analysis.
+    offline analysis.  The manifest doubles as the campaign's
+    **checkpoint**: it is written atomically (tmp + rename) before the
+    first unit runs and again as every point completes, so a crash or
+    kill at any moment leaves a consistent partial manifest naming
+    exactly the points that finished.
+
+    ``resume`` names such a directory: completed points are restored
+    from the manifest instead of re-run (after verifying the manifest
+    was written by this exact spec), and only the missing points
+    execute.  Because every point's seeds derive from the spec alone,
+    a resumed campaign's results, manifest and tensors are bitwise
+    identical to an uninterrupted run's (wall-clock provenance --
+    ``elapsed_seconds``, ``created`` -- aside).  ``resume`` implies
+    ``save_tensors`` into the same directory.
+
+    ``fault_policy`` governs work-unit faults (default: raise on the
+    first failure).  ``on_error="retry"`` re-runs a failed unit's
+    exact payload with capped backoff, which cannot perturb seeds or
+    merge order; ``on_error="skip"`` isolates terminal failures to
+    their point -- the other points complete, the failed ones are
+    recorded on :attr:`CampaignResult.failures` and marked ``failed``
+    in the manifest (a later ``resume`` re-runs them).
     """
     points = spec.expand()
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    resume_dir: Optional[Path] = None
+    if resume is not None:
+        resume_dir = Path(resume)
+        if save_tensors is None:
+            save_tensors = resume
+        elif Path(save_tensors).resolve() != resume_dir.resolve():
+            raise ValueError(
+                "resume and save_tensors must name the same directory "
+                "(resume continues the campaign checkpointed there)"
+            )
     tensors_dir: Optional[Path] = None
     if save_tensors is not None:
         tensors_dir = Path(save_tensors)
         tensors_dir.mkdir(parents=True, exist_ok=True)
     want_tensor = tensors_dir is not None
 
+    restored: Dict[int, PointResult] = (
+        _restore_completed(resume_dir, spec, points)
+        if resume_dir is not None else {}
+    )
+
+    # The checkpoint state: one manifest entry per planned point,
+    # rewritten atomically whenever a point lands.
+    entries: List[Dict] = [
+        _done_entry(index, restored[index]) if index in restored
+        else _pending_entry(index, point)
+        for index, point in enumerate(points)
+    ]
+
+    def checkpoint() -> None:
+        if tensors_dir is not None:
+            _write_json_atomic(
+                tensors_dir / MANIFEST_NAME, _manifest_data(spec, entries)
+            )
+
     # The campaign as one ExecutionPlan: both parallelism levels --
     # independent grid points, and the trial-axis shards of each point
     # -- flatten into a single work-unit list served by one ``workers``
     # budget, so a small grid holding one huge sharded point fills the
     # same pool a wide grid does.  The decomposition (and every unit's
-    # seed) depends only on the spec, never on ``workers``, which is
-    # what keeps pooled runs bitwise equal to serial ones and replays.
+    # seed) depends only on the spec, never on ``workers`` -- which is
+    # what keeps pooled runs bitwise equal to serial ones and replays,
+    # and what lets a resume re-run exactly the units of the
+    # not-yet-completed points without touching anything else.
     pairs = [
         (
             (point_index, shard_index),
@@ -413,6 +572,7 @@ def run_campaign(
             ),
         )
         for point_index, point in enumerate(points)
+        if point_index not in restored
         for shard_index, shard in enumerate(_shard_points(point))
     ]
     unit_keys = [key for key, _ in pairs]
@@ -436,16 +596,17 @@ def run_campaign(
          if k in used_scenarios},
     )
 
-    # Stream completion: a point is merged, saved and reported as soon
-    # as its last shard lands, and its shard outputs (which hold the
-    # full tensors when save_tensors is on) are freed immediately --
-    # the plan declares no merge, so the executor never forces the
-    # whole campaign resident at once.
-    shard_counts = [0] * len(points)
+    # Stream completion: a point is merged, saved, checkpointed and
+    # reported as soon as its last shard lands, and its shard outputs
+    # (which hold the full tensors when save_tensors is on) are freed
+    # immediately -- the plan declares no merge, so the executor never
+    # forces the whole campaign resident at once.
+    shard_counts: Dict[int, int] = {}
     for point_index, _ in unit_keys:
-        shard_counts[point_index] += 1
+        shard_counts[point_index] = shard_counts.get(point_index, 0) + 1
     pending: Dict[int, Dict[int, _ShardOutput]] = {}
-    results: Dict[int, PointResult] = {}
+    results: Dict[int, PointResult] = dict(restored)
+    failures_by_point: Dict[int, List[UnitFailure]] = {}
 
     def complete(unit_index: int, output: _ShardOutput) -> None:
         point_index, shard_index = unit_keys[unit_index]
@@ -463,10 +624,27 @@ def run_campaign(
             result.tensor_path = _save_tensor(
                 tensors_dir, spec.name, point_index, result, tensor
             )
+        results[point_index] = result
+        entries[point_index] = _done_entry(point_index, result)
+        checkpoint()
         if progress is not None:
             progress(result)
-        results[point_index] = result
 
+    def record_failure(failure: UnitFailure) -> None:
+        # Only reachable under on_error="skip" (raising policies abort
+        # run_plan instead): isolate the loss to its point, persist it,
+        # and let every other unit proceed.
+        point_index, _ = unit_keys[failure.index]
+        bucket = failures_by_point.setdefault(point_index, [])
+        bucket.append(failure)
+        entries[point_index] = {
+            **_pending_entry(point_index, points[point_index]),
+            "status": "failed",
+            "failures": [f.to_dict() for f in bucket],
+        }
+        checkpoint()
+
+    checkpoint()
     run_plan(
         ExecutionPlan(
             units=units,
@@ -477,12 +655,24 @@ def run_campaign(
         ),
         workers=workers,
         on_unit=complete,
+        fault_policy=fault_policy,
+        on_failure=record_failure,
     )
 
-    ordered = [results[i] for i in range(len(points))]
-    if tensors_dir is not None:
-        _write_manifest(tensors_dir, spec, ordered)
-    return CampaignResult(spec=spec, results=ordered)
+    checkpoint()
+    ordered = [
+        results[i] for i in range(len(points)) if i in results
+    ]
+    failure_dicts = [
+        failure.to_dict()
+        for point_index in sorted(failures_by_point)
+        for failure in sorted(
+            failures_by_point[point_index], key=lambda f: f.index
+        )
+    ]
+    return CampaignResult(
+        spec=spec, results=ordered, failures=failure_dicts
+    )
 
 
 def _run_shard_unit(payload):

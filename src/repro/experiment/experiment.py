@@ -36,6 +36,7 @@ import time
 from typing import Mapping, Optional, Union
 
 from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
+from ..runtime.exec import FaultPolicy
 from ..runtime.metrics import MetricsRecorder
 from ..runtime.parallel import AgentEnsemble, ShardedBatchExecutor
 from ..runtime.round_engine import RoundEngine
@@ -99,6 +100,18 @@ class Experiment:
         trials across the pool (each trial owns its RNG stream, so the
         result is bitwise independent of ``workers``, clamped to
         ``trials``).  The serial tier ignores it.
+    on_error, retries, unit_timeout:
+        The execution layer's fault policy
+        (:class:`~repro.runtime.exec.FaultPolicy`), applied wherever
+        the run decomposes into work units (the agent tier, and the
+        batch/lockstep tiers with ``workers > 1``).  ``on_error``:
+        ``"raise"`` (default) aborts on the first unit failure,
+        ``"retry"`` re-runs a failed unit's exact payload up to
+        ``retries`` times with capped backoff (retries cannot perturb
+        seeds or merge order, so a retried run is bitwise identical to
+        a clean one), ``"skip"`` keeps the surviving units and records
+        the losses on :attr:`ExperimentResult.failures`.
+        ``unit_timeout`` bounds each attempt's wall clock in seconds.
     """
 
     def __init__(
@@ -117,6 +130,9 @@ class Experiment:
         member_log_state: Optional[str] = None,
         initial: Optional[Mapping[str, float]] = None,
         workers: int = 1,
+        on_error: str = "raise",
+        retries: int = 2,
+        unit_timeout: Optional[float] = None,
     ):
         if isinstance(protocol, str):
             protocol = Protocol.named(protocol)
@@ -153,6 +169,13 @@ class Experiment:
         self.member_log_state = member_log_state
         self.initial = dict(initial) if initial is not None else None
         self.workers = workers
+        # Constructing the policy up front validates on_error/retries/
+        # unit_timeout with FaultPolicy's own error messages.
+        self.fault_policy = FaultPolicy(
+            on_error=on_error,
+            retries=retries,
+            timeout_seconds=unit_timeout,
+        )
 
     # ------------------------------------------------------------------
     # Engine selection
@@ -259,14 +282,17 @@ class Experiment:
             stride=self.stride,
             track_transitions=self.record_transitions,
             hook_factories=hook_factories,
+            fault_policy=self.fault_policy,
         )
         return ExperimentResult(
-            spec=spec, n=self.n, trials=self.trials, periods=self.periods,
+            spec=spec, n=self.n, trials=len(outcome.trial_seeds),
+            periods=self.periods,
             engine="agent", trial_seeds=list(outcome.trial_seeds),
             elapsed_seconds=0.0,
             protocol=self.protocol,
             scenario=self.scenario.label if self.scenario else None,
             trial_recorders=outcome.recorders,
+            failures=outcome.failures,
         )
 
     def _run_batched(self, spec, initial, engine_name: str) -> ExperimentResult:
@@ -289,9 +315,10 @@ class Experiment:
                 track_transitions=self.record_transitions,
                 member_log_state=self.member_log_state,
                 hook_factories=hook_factories,
+                fault_policy=self.fault_policy,
             )
             return ExperimentResult(
-                spec=spec, n=self.n, trials=self.trials,
+                spec=spec, n=self.n, trials=len(outcome.trial_seeds),
                 periods=self.periods,
                 engine=engine_name, trial_seeds=list(outcome.trial_seeds),
                 elapsed_seconds=0.0,
@@ -299,6 +326,7 @@ class Experiment:
                 scenario=self.scenario.label if self.scenario else None,
                 recorder=outcome.recorder,
                 shards=shards,
+                failures=outcome.failures,
             )
         engine = BatchRoundEngine(
             spec, n=self.n, trials=self.trials, initial=initial,

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..runtime.exec import UnitFailure
 from ..runtime.metrics import MetricsRecorder, WindowStats
 from ..runtime.batch_engine import BatchMetricsRecorder
 from ..synthesis.protocol import ProtocolSpec
@@ -154,6 +155,7 @@ class ExperimentResult:
         recorder: Optional[BatchMetricsRecorder] = None,
         trial_recorders: Optional[List[MetricsRecorder]] = None,
         shards: int = 1,
+        failures: Optional[Sequence[UnitFailure]] = None,
     ):
         if (recorder is None) == (trial_recorders is None):
             raise ValueError(
@@ -175,6 +177,11 @@ class ExperimentResult:
         #: bit for bit requires the same shard count (see
         #: :class:`repro.runtime.parallel.ShardedBatchExecutor`).
         self.shards = shards
+        #: Work units lost to a skipping fault policy
+        #: (``Experiment(..., on_error="skip")``); empty on clean runs.
+        #: When non-empty, ``trials``/``trial_seeds`` and every tensor
+        #: cover only the surviving trials.
+        self.failures: List[UnitFailure] = list(failures or [])
         if trial_recorders is not None:
             first = trial_recorders[0].times
             for other in trial_recorders[1:]:

@@ -42,7 +42,15 @@ from .membership import FullMembership, PartialMembership
 from .metrics import MetricsRecorder, WindowStats
 from .network import ContactFailed, LatencyModel, Network
 from .overlay import erdos_renyi_overlay, log_degree, overlay_stats, random_regular_overlay
-from .exec import ExecutionPlan, WorkUnit, run_plan
+from .exec import (
+    ExecutionPlan,
+    FaultPolicy,
+    UnitExecutionError,
+    UnitFailure,
+    UnitTimeout,
+    WorkUnit,
+    run_plan,
+)
 from .parallel import (
     SHARD_DOMAIN,
     AgentEnsemble,
@@ -68,6 +76,10 @@ __all__ = [
     "PlannedAction",
     "TrialMemberPools",
     "ExecutionPlan",
+    "FaultPolicy",
+    "UnitExecutionError",
+    "UnitFailure",
+    "UnitTimeout",
     "WorkUnit",
     "run_plan",
     "ShardedBatchExecutor",

@@ -14,7 +14,8 @@ shape, extracted once:
   worker process can import);
 * an :class:`ExecutionPlan` is the ordered unit list plus the merge
   contract and optional worker-process initialization;
-* :func:`run_plan` executes a plan on 1..K local processes.
+* :func:`run_plan` executes a plan on 1..K local processes under a
+  :class:`FaultPolicy` (per-unit capture, retries, timeout).
 
 The reproducibility contract, shared by every caller:
 
@@ -34,6 +35,14 @@ The reproducibility contract, shared by every caller:
    do not survive :mod:`pickle` (closure or lambda hooks, runtime
    registrations), :func:`run_plan` warns and runs them in-process --
    same bits, no pool.
+4. **Failure handling cannot perturb results.**  A unit fails as a
+   whole or not at all: an exception (or timeout) anywhere in a unit
+   discards that attempt's entire output, and a retry re-runs the
+   *same* payload from scratch -- same seeds, same decomposition, same
+   merge slot -- so a run that needed three attempts on one unit is
+   bitwise identical to a run that needed one.  Failures surface as
+   :class:`UnitFailure` records carrying the unit's index, label and
+   traceback instead of an opaque pool blow-up.
 
 ``workers`` is therefore pure *scheduling budget*: callers that nest
 (a campaign point expanding into trial shards) flatten their levels
@@ -46,11 +55,27 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import signal
+import threading
+import time
+import traceback as traceback_module
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-__all__ = ["ExecutionPlan", "WorkUnit", "run_plan"]
+__all__ = [
+    "ExecutionPlan",
+    "FaultPolicy",
+    "UnitExecutionError",
+    "UnitFailure",
+    "UnitTimeout",
+    "WorkUnit",
+    "run_plan",
+]
+
+#: The ``on_error`` modes a :class:`FaultPolicy` accepts.
+ON_ERROR_MODES = ("raise", "skip", "retry")
 
 
 @dataclass(frozen=True)
@@ -68,6 +93,204 @@ class WorkUnit:
     label: str = ""
 
 
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How :func:`run_plan` treats a unit that raises (or times out).
+
+    ``on_error`` selects the terminal behavior once a unit's attempts
+    are exhausted:
+
+    * ``"raise"`` -- the pre-fault default: a unit gets exactly one
+      attempt, and its failure aborts the plan with a
+      :class:`UnitExecutionError` (the failing unit's index, label and
+      traceback attached -- never an opaque pool blow-up).
+    * ``"retry"`` -- transient faults are retried: each unit gets
+      ``1 + retries`` attempts with capped exponential backoff between
+      them; exhausting them raises like ``"raise"``.  A retry re-runs
+      the *same* unit payload, so seeds, decomposition and merge order
+      are untouched and a retried run is bitwise identical to a clean
+      one.
+    * ``"skip"`` -- failure isolation: units retry exactly as under
+      ``"retry"``, but an exhausted unit is recorded as a
+      :class:`UnitFailure` (its slot in the merge input, and the
+      ``on_failure`` stream) instead of aborting the plan, yielding
+      partial results.
+
+    ``timeout_seconds`` bounds each *attempt* wall-clock; an expired
+    attempt fails with :class:`UnitTimeout` and follows the same
+    retry/skip/raise path as any other exception.  Timeouts need a
+    Unix ``SIGALRM`` delivered to the executing thread, so they are
+    enforced in pool workers and in main-thread in-process runs, and
+    silently skipped where that signal cannot be armed (Windows,
+    non-main threads).
+    """
+
+    on_error: str = "raise"
+    #: Extra attempts per unit after the first (``on_error != "raise"``).
+    retries: int = 2
+    #: Backoff before retry k (0-based) is
+    #: ``min(backoff_seconds * backoff_factor**k, max_backoff_seconds)``.
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 2.0
+    #: Wall-clock bound per attempt (None = unbounded).
+    timeout_seconds: Optional[float] = None
+
+    def __post_init__(self):
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, "
+                f"got {self.on_error!r}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be > 0, got {self.timeout_seconds}"
+            )
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts per unit (1 under ``on_error="raise"``)."""
+        return 1 if self.on_error == "raise" else 1 + self.retries
+
+    def backoff_for(self, failed_attempts: int) -> float:
+        """Seconds to wait before the next attempt."""
+        return min(
+            self.backoff_seconds * self.backoff_factor ** failed_attempts,
+            self.max_backoff_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """One unit's terminal failure, with enough context to act on it.
+
+    Under ``on_error="skip"`` these appear in the merge input (in the
+    failed unit's slot) and in the ``on_failure`` stream; under
+    ``"raise"``/``"retry"`` the first one aborts the plan wrapped in a
+    :class:`UnitExecutionError`.
+    """
+
+    index: int
+    label: str
+    error: str
+    traceback: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "error": self.error,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UnitFailure":
+        return cls(
+            index=int(data["index"]),
+            label=str(data["label"]),
+            error=str(data["error"]),
+            traceback=str(data["traceback"]),
+            attempts=int(data["attempts"]),
+        )
+
+
+class UnitExecutionError(RuntimeError):
+    """A work unit failed terminally under a raising fault policy."""
+
+    def __init__(self, failure: UnitFailure, plan_label: str = "plan"):
+        self.failure = failure
+        label = failure.label or f"unit {failure.index}"
+        super().__init__(
+            f"{plan_label}: {label} (unit {failure.index}) failed after "
+            f"{failure.attempts} attempt(s): {failure.error}\n"
+            f"{failure.traceback}"
+        )
+
+
+class UnitTimeout(Exception):
+    """An attempt exceeded the fault policy's per-unit timeout."""
+
+
+@contextmanager
+def _attempt_deadline(seconds: Optional[float]):
+    """Arm a wall-clock bound for one attempt, where the platform allows.
+
+    Uses an interval timer + ``SIGALRM`` so an expired attempt raises
+    :class:`UnitTimeout` *inside* the unit, joining the ordinary
+    exception path.  Signals only reach the main thread of a process
+    (which is where pool workers and in-process serial runs execute),
+    so anywhere else the bound is a documented no-op.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def expire(signum, frame):
+        raise UnitTimeout(f"attempt exceeded the {seconds:g}s unit timeout")
+
+    previous = signal.signal(signal.SIGALRM, expire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _attempt_unit(
+    index: int,
+    runner: Callable[[Any], Any],
+    payload: Any,
+    label: str,
+    policy: FaultPolicy,
+) -> Tuple[int, Any, Optional[UnitFailure]]:
+    """Run one unit under the policy: ``(index, output, failure)``.
+
+    Runs wherever the unit runs (pool worker or in-process), so pool
+    workers return failures as values instead of poisoning the pool,
+    and backoff sleeps occupy only the worker that owns the unit.
+    """
+    error = ""
+    trace = ""
+    for attempt in range(policy.attempts):
+        try:
+            with _attempt_deadline(policy.timeout_seconds):
+                return index, runner(payload), None
+        except Exception as exc:
+            error = repr(exc)
+            trace = traceback_module.format_exc()
+            if attempt + 1 < policy.attempts:
+                time.sleep(policy.backoff_for(attempt))
+    return index, None, UnitFailure(
+        index=index,
+        label=label,
+        error=error,
+        traceback=trace,
+        attempts=policy.attempts,
+    )
+
+
+def _run_encoded_unit(job) -> Tuple[int, Any, Optional[UnitFailure]]:
+    """Pool worker entry point: decode the once-pickled unit and run it."""
+    index, blob, label, policy = job
+    runner, payload = pickle.loads(blob)
+    return _attempt_unit(index, runner, payload, label, policy)
+
+
 @dataclass
 class ExecutionPlan:
     """An ordered list of work units plus their merge contract.
@@ -80,9 +303,11 @@ class ExecutionPlan:
         Combines the ordered output list into the plan's result.  May
         be ``None`` for streaming consumers that assemble results in
         the ``on_unit`` callback instead -- outputs are then *not*
-        retained (important when units return large tensors).
+        retained (important when units return large tensors).  Under a
+        skipping fault policy, a failed unit's slot holds its
+        :class:`UnitFailure` record.
     label:
-        Used in the serial-fallback warning so the caller is
+        Used in failure and fallback messages so the caller is
         identifiable.
     initializer, initargs:
         Worker-process setup (e.g. re-installing runtime registry
@@ -98,24 +323,29 @@ class ExecutionPlan:
     initargs: Tuple = field(default_factory=tuple)
 
 
-def _run_unit(job: Tuple[int, Callable, Any]) -> Tuple[int, Any]:
-    index, runner, payload = job
-    return index, runner(payload)
+def _encode_units(plan: ExecutionPlan) -> Optional[List[bytes]]:
+    """Serialize every unit exactly once, or None if the plan can't pool.
 
-
-def _picklable(plan: ExecutionPlan) -> bool:
+    The byte blobs double as the picklability probe *and* the pool
+    submission format: workers receive the pre-pickled ``(runner,
+    payload)`` pair, so a unit's payload graph is traversed by pickle
+    once per plan, not once for the probe and again at submission.
+    """
     try:
-        pickle.dumps([(u.runner, u.payload) for u in plan.units])
         pickle.dumps((plan.initializer, plan.initargs))
+        return [
+            pickle.dumps((unit.runner, unit.payload)) for unit in plan.units
+        ]
     except Exception:
-        return False
-    return True
+        return None
 
 
 def run_plan(
     plan: ExecutionPlan,
     workers: int = 1,
     on_unit: Optional[Callable[[int, Any], None]] = None,
+    fault_policy: Optional[FaultPolicy] = None,
+    on_failure: Optional[Callable[[UnitFailure], None]] = None,
 ) -> Any:
     """Execute every unit of ``plan`` and return its merged result.
 
@@ -126,45 +356,71 @@ def run_plan(
     unit order.  Unpicklable plans degrade to a serial in-process run
     with a :class:`RuntimeWarning`; the results are bitwise identical
     either way, which is exactly the plan contract.
+
+    ``fault_policy`` (default: raise on first failure) governs unit
+    faults -- see :class:`FaultPolicy`.  Under ``on_error="skip"``,
+    failed units fire ``on_failure(failure)`` instead of ``on_unit``
+    and occupy their merge slot as :class:`UnitFailure` records;
+    otherwise a terminal failure aborts the plan with
+    :class:`UnitExecutionError`.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    policy = fault_policy if fault_policy is not None else FaultPolicy()
     units = list(plan.units)
     fan_out = workers > 1 and len(units) > 1
-    if fan_out and not _picklable(plan):
-        warnings.warn(
-            f"{plan.label}: work units are unpicklable (closure or "
-            f"lambda hooks, runtime registrations?); running the "
-            f"{len(units)} units serially in-process instead of on "
-            f"{workers} workers (results are bitwise identical either "
-            f"way)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        fan_out = False
+    blobs: Optional[List[bytes]] = None
+    if fan_out:
+        blobs = _encode_units(plan)
+        if blobs is None:
+            warnings.warn(
+                f"{plan.label}: work units are unpicklable (closure or "
+                f"lambda hooks, runtime registrations?); running the "
+                f"{len(units)} units serially in-process instead of on "
+                f"{workers} workers (results are bitwise identical either "
+                f"way)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            fan_out = False
 
     outputs: Optional[List[Any]] = (
         [None] * len(units) if plan.merge is not None else None
     )
+
+    def land(index: int, output: Any, failure: Optional[UnitFailure]) -> None:
+        if failure is not None:
+            if policy.on_error != "skip":
+                raise UnitExecutionError(failure, plan.label)
+            if on_failure is not None:
+                on_failure(failure)
+            if outputs is not None:
+                outputs[index] = failure
+            return
+        if on_unit is not None:
+            on_unit(index, output)
+        if outputs is not None:
+            outputs[index] = output
+
     if fan_out:
         with multiprocessing.Pool(
             processes=min(workers, len(units)),
             initializer=plan.initializer,
             initargs=plan.initargs,
         ) as pool:
-            jobs = [(i, u.runner, u.payload) for i, u in enumerate(units)]
-            for index, output in pool.imap_unordered(_run_unit, jobs):
-                if on_unit is not None:
-                    on_unit(index, output)
-                if outputs is not None:
-                    outputs[index] = output
+            jobs = [
+                (index, blob, unit.label, policy)
+                for (index, unit), blob in zip(enumerate(units), blobs)
+            ]
+            for index, output, failure in pool.imap_unordered(
+                _run_encoded_unit, jobs
+            ):
+                land(index, output, failure)
     else:
         for index, unit in enumerate(units):
-            output = unit.runner(unit.payload)
-            if on_unit is not None:
-                on_unit(index, output)
-            if outputs is not None:
-                outputs[index] = output
+            land(*_attempt_unit(
+                index, unit.runner, unit.payload, unit.label, policy
+            ))
     if plan.merge is None:
         return None
     return plan.merge(outputs)

@@ -37,7 +37,7 @@ the same multi-core scaling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -45,7 +45,14 @@ import numpy as np
 from ..synthesis.protocol import ProtocolSpec
 from .agent_sim import AgentSimulation
 from .batch_engine import BatchMetricsRecorder, BatchRoundEngine, HookFactory
-from .exec import ExecutionPlan, WorkUnit, run_plan
+from .exec import (
+    ExecutionPlan,
+    FaultPolicy,
+    UnitExecutionError,
+    UnitFailure,
+    WorkUnit,
+    run_plan,
+)
 from .metrics import MetricsRecorder
 from .rng import spawn_seeds
 
@@ -93,11 +100,23 @@ def shard_layout(
     # replayable -- record the engines' trial seeds if that matters.
     entropy = None if seed is None else (seed, SHARD_DOMAIN)
     seeds = spawn_seeds(entropy, shards)
-    return [
-        (size, shard_seed)
-        for size, shard_seed in zip(sizes, seeds)
-        if size > 0
-    ]
+    layout = list(zip(sizes, seeds))
+    # The layout length IS the shard count: replay identity (campaign
+    # points record `shards`, not the layout) depends on every shard
+    # being present and non-empty, so a violation must abort loudly --
+    # silently dropping a shard would produce a layout that can never
+    # be replayed from its recorded parameters.
+    if (
+        len(layout) != shards
+        or any(size < 1 for size, _ in layout)
+        or sum(size for size, _ in layout) != trials
+    ):
+        raise AssertionError(
+            f"shard_layout invariant violated: expected {shards} "
+            f"non-empty shards covering {trials} trials, got "
+            f"{[size for size, _ in layout]}"
+        )
+    return layout
 
 
 @dataclass
@@ -178,7 +197,13 @@ class ShardedRunResult:
     """Merged outcome of a sharded ensemble run.
 
     Everything is ordered along the concatenated trial axis (shard 0's
-    trials first), matching :attr:`trial_seeds`.
+    trials first), matching :attr:`trial_seeds`.  Under a skipping
+    fault policy the failed shards' trials are simply absent from the
+    merged axes (the surviving shards are untouched -- failure
+    isolation cannot perturb their streams), and :attr:`failures`
+    records what was lost; :attr:`shard_seeds`/:attr:`shard_sizes`
+    always describe the *full* layout, so any failed shard can be
+    re-run alone from its recorded seed.
     """
 
     recorder: BatchMetricsRecorder
@@ -188,6 +213,9 @@ class ShardedRunResult:
     final_counts_matrix: np.ndarray    # (M, S) int64
     final_alive: np.ndarray            # (M,) int64
     total_messages: np.ndarray         # (M,) int64
+    #: Terminal unit failures recorded by ``on_error="skip"`` (empty
+    #: on a clean run; raising policies never construct a result).
+    failures: List[UnitFailure] = field(default_factory=list)
 
     @property
     def shards(self) -> int:
@@ -256,8 +284,19 @@ class ShardedBatchExecutor:
         member_log_state: Optional[str] = None,
         hook_factories: Sequence[HookFactory] = (),
         record_initial: bool = True,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> ShardedRunResult:
-        """Run every shard and merge the recorders integer-exactly."""
+        """Run every shard and merge the recorders integer-exactly.
+
+        ``fault_policy`` governs shard faults (default: raise on the
+        first failure, wrapped as a
+        :class:`~repro.runtime.exec.UnitExecutionError` naming the
+        shard).  ``on_error="retry"`` re-runs a failed shard's exact
+        payload (same seed, same merge slot), so a retried run stays
+        bitwise identical; ``on_error="skip"`` drops failed shards
+        from the merged trial axis and records them on
+        :attr:`ShardedRunResult.failures`.
+        """
         jobs: List[_ShardJob] = []
         offset = 0
         for size, shard_seed in self.layout:
@@ -280,17 +319,28 @@ class ShardedBatchExecutor:
             offset += size
 
         def merge(outputs: List) -> ShardedRunResult:
-            recorders = [o[0] for o in outputs]
+            # Under a skipping policy, failed shards occupy their slot
+            # as UnitFailure records; the survivors merge unchanged, in
+            # shard order, so failure isolation never perturbs them.
+            failures = [o for o in outputs if isinstance(o, UnitFailure)]
+            landed = [o for o in outputs if not isinstance(o, UnitFailure)]
+            if not landed:
+                raise UnitExecutionError(
+                    failures[0], f"sharded {self.spec.name!r} ensemble "
+                    f"(all {len(outputs)} shards failed)"
+                )
+            recorders = [o[0] for o in landed]
             return ShardedRunResult(
                 recorder=BatchMetricsRecorder.merge(recorders),
-                trial_seeds=[s for o in outputs for s in o[1]],
+                trial_seeds=[s for o in landed for s in o[1]],
                 shard_seeds=[seed for _, seed in self.layout],
                 shard_sizes=[size for size, _ in self.layout],
                 final_counts_matrix=np.concatenate(
-                    [o[2] for o in outputs], axis=0
+                    [o[2] for o in landed], axis=0
                 ),
-                final_alive=np.concatenate([o[3] for o in outputs]),
-                total_messages=np.concatenate([o[4] for o in outputs]),
+                final_alive=np.concatenate([o[3] for o in landed]),
+                total_messages=np.concatenate([o[4] for o in landed]),
+                failures=failures,
             )
 
         plan = ExecutionPlan(
@@ -302,7 +352,8 @@ class ShardedBatchExecutor:
             merge=merge,
             label=f"sharded {self.spec.name!r} ensemble",
         )
-        return run_plan(plan, workers=self.workers)
+        return run_plan(plan, workers=self.workers,
+                        fault_policy=fault_policy)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
@@ -363,10 +414,19 @@ def _run_agent_trial(job: _AgentTrialJob) -> MetricsRecorder:
 
 @dataclass
 class AgentEnsembleResult:
-    """Outcome of an agent-tier ensemble: per-trial recorders, trial order."""
+    """Outcome of an agent-tier ensemble: per-trial recorders, trial order.
+
+    Under a skipping fault policy, failed trials are absent from
+    :attr:`recorders`/:attr:`trial_seeds` (which stay aligned) and
+    recorded on :attr:`failures`; each failure's ``index`` is the
+    global trial, so the lost trial's seed is recoverable from the
+    ensemble's spawned family.
+    """
 
     recorders: List[MetricsRecorder]
     trial_seeds: List[int]
+    #: Terminal unit failures recorded by ``on_error="skip"``.
+    failures: List[UnitFailure] = field(default_factory=list)
 
     @property
     def trials(self) -> int:
@@ -441,8 +501,16 @@ class AgentEnsemble:
         track_transitions: bool = True,
         record_initial: bool = True,
         hook_factories: Sequence[Callable[[int], Callable]] = (),
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> AgentEnsembleResult:
-        """Run every trial and collect the recorders in trial order."""
+        """Run every trial and collect the recorders in trial order.
+
+        ``fault_policy`` governs trial faults exactly as on
+        :meth:`ShardedBatchExecutor.run`: retries re-run the same
+        seeded trial (bitwise identical), and ``on_error="skip"``
+        yields the surviving trials plus recorded
+        :class:`~repro.runtime.exec.UnitFailure` entries.
+        """
         jobs = [
             _AgentTrialJob(
                 spec=self.spec,
@@ -462,19 +530,34 @@ class AgentEnsemble:
             )
             for trial, trial_seed in enumerate(self.trial_seeds)
         ]
+        def merge(outputs: List) -> AgentEnsembleResult:
+            failures = [o for o in outputs if isinstance(o, UnitFailure)]
+            survivors = [
+                (trial, o) for trial, o in enumerate(outputs)
+                if not isinstance(o, UnitFailure)
+            ]
+            if not survivors:
+                raise UnitExecutionError(
+                    failures[0], f"agent ensemble {self.spec.name!r} "
+                    f"(all {len(outputs)} trials failed)"
+                )
+            return AgentEnsembleResult(
+                recorders=[o for _, o in survivors],
+                trial_seeds=[self.trial_seeds[t] for t, _ in survivors],
+                failures=failures,
+            )
+
         plan = ExecutionPlan(
             units=[
                 WorkUnit(runner=_run_agent_trial, payload=job,
                          label=f"trial {job.trial}")
                 for job in jobs
             ],
-            merge=lambda recorders: AgentEnsembleResult(
-                recorders=list(recorders),
-                trial_seeds=list(self.trial_seeds),
-            ),
+            merge=merge,
             label=f"agent ensemble {self.spec.name!r}",
         )
-        return run_plan(plan, workers=self.workers)
+        return run_plan(plan, workers=self.workers,
+                        fault_policy=fault_policy)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

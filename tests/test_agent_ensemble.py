@@ -14,8 +14,10 @@ from repro.protocols.lv import lv_protocol
 from repro.runtime import (
     AgentEnsemble,
     AgentSimulation,
+    FaultPolicy,
     MassiveFailure,
     MetricsRecorder,
+    UnitExecutionError,
     spawn_seeds,
 )
 
@@ -207,3 +209,69 @@ class TestCLI:
         # LV has no stable closed-form equilibrium at this horizon;
         # whatever the verdict, the command must not crash.
         assert code in (0, 1)
+
+
+def _noop_agent_hook(simulation):
+    return None
+
+
+class SabotageTrial:
+    """Hook factory that raises for one global trial (picklable)."""
+
+    def __init__(self, victim):
+        self.victim = victim
+
+    def __call__(self, trial):
+        if trial == self.victim:
+            raise RuntimeError(f"trial {trial} sabotaged")
+        return _noop_agent_hook
+
+
+class TestFaultIsolation:
+    SKIP = FaultPolicy(on_error="skip", retries=0, backoff_seconds=0.0)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_skip_drops_failed_trials_without_perturbing_survivors(
+        self, workers
+    ):
+        clean = run_ensemble(
+            trials=3, workers=workers, seed=9,
+            hook_factories=[_noop_factory],
+        )
+        partial = run_ensemble(
+            trials=3, workers=workers, seed=9,
+            hook_factories=[SabotageTrial(1)],
+            fault_policy=self.SKIP,
+        )
+        # Trial 1 is gone; recorders and seeds stay aligned and the
+        # survivors are bitwise identical to the clean run's.
+        assert [f.index for f in partial.failures] == [1]
+        assert partial.failures[0].label == "trial 1"
+        assert partial.trials == 2
+        assert partial.trial_seeds == [
+            clean.trial_seeds[0], clean.trial_seeds[2]
+        ]
+        for survivor, reference in zip(
+            partial.recorders, (clean.recorders[0], clean.recorders[2])
+        ):
+            for state in SPEC.states:
+                assert np.array_equal(
+                    survivor.counts(state), reference.counts(state)
+                )
+
+    def test_all_trials_failing_raises_even_under_skip(self):
+        with pytest.raises(UnitExecutionError, match="all 2 trials"):
+            run_ensemble(
+                trials=2, workers=1, seed=9,
+                hook_factories=[SabotageAllTrials()],
+                fault_policy=self.SKIP,
+            )
+
+
+class SabotageAllTrials:
+    def __call__(self, trial):
+        raise RuntimeError(f"trial {trial} sabotaged")
+
+
+def _noop_factory(trial):
+    return _noop_agent_hook

@@ -1,8 +1,19 @@
 """Tests for the unified execution layer (repro.runtime.exec)."""
 
+import pickle
+import time
+
 import pytest
 
-from repro.runtime import ExecutionPlan, WorkUnit, run_plan
+from repro.runtime import (
+    ExecutionPlan,
+    FaultPolicy,
+    UnitExecutionError,
+    UnitFailure,
+    WorkUnit,
+    run_plan,
+)
+from repro.runtime.exec import _encode_units
 
 
 def double(payload):
@@ -11,6 +22,46 @@ def double(payload):
 
 def boom(payload):
     raise RuntimeError(f"unit {payload} exploded")
+
+
+def flaky(payload):
+    """Fail until a sentinel file has accumulated enough attempts.
+
+    The attempt count lives on disk so the failure is visible across
+    processes (pool workers) as well as in-process runs.
+    """
+    path, fail_attempts, value = payload
+    with open(path, "a") as handle:
+        handle.write("x")
+    attempts_so_far = len(open(path).read())
+    if attempts_so_far <= fail_attempts:
+        raise RuntimeError(f"transient fault on attempt {attempts_so_far}")
+    return value * 2
+
+
+def sleepy(payload):
+    time.sleep(payload)
+    return "done"
+
+
+class CountingPayload:
+    """Payload whose pickling is observable (for pickle-once tests)."""
+
+    def __init__(self, value):
+        self.value = value
+        self.pickled = 0
+
+    def __getstate__(self):
+        self.pickled += 1
+        return {"value": self.value, "pickled": self.pickled}
+
+    def __setstate__(self, state):
+        self.value = state["value"]
+        self.pickled = state["pickled"]
+
+
+def unwrap(payload):
+    return payload.value * 2
 
 
 def plan_of(values, merge=list, **kwargs):
@@ -62,6 +113,218 @@ class TestRunPlan:
         )
         with pytest.raises(RuntimeError, match="exploded"):
             run_plan(plan)
+
+
+class TestFaultPolicy:
+    def test_defaults_are_single_attempt_raise(self):
+        policy = FaultPolicy()
+        assert policy.on_error == "raise"
+        assert policy.attempts == 1
+
+    def test_retry_and_skip_get_extra_attempts(self):
+        assert FaultPolicy(on_error="retry", retries=3).attempts == 4
+        assert FaultPolicy(on_error="skip", retries=0).attempts == 1
+
+    def test_backoff_is_capped_exponential(self):
+        policy = FaultPolicy(
+            on_error="retry", backoff_seconds=0.1, backoff_factor=2.0,
+            max_backoff_seconds=0.3,
+        )
+        assert policy.backoff_for(0) == pytest.approx(0.1)
+        assert policy.backoff_for(1) == pytest.approx(0.2)
+        assert policy.backoff_for(5) == pytest.approx(0.3)  # capped
+
+    @pytest.mark.parametrize("bad", [
+        {"on_error": "explode"},
+        {"retries": -1},
+        {"backoff_seconds": -0.1},
+        {"backoff_factor": 0.5},
+        {"timeout_seconds": 0.0},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            FaultPolicy(**bad)
+
+    def test_unit_failure_round_trips(self):
+        failure = UnitFailure(
+            index=3, label="shard 3", error="RuntimeError('x')",
+            traceback="Traceback ...", attempts=2,
+        )
+        assert UnitFailure.from_dict(failure.to_dict()) == failure
+
+
+def retry_policy(retries=2):
+    return FaultPolicy(
+        on_error="retry", retries=retries, backoff_seconds=0.0
+    )
+
+
+class TestRetries:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_transient_failure_retries_to_identical_result(
+        self, tmp_path, workers
+    ):
+        # A clean plan's result is the reference ...
+        reference = run_plan(plan_of([1, 2, 3]), workers=workers)
+        # ... and a plan whose middle unit fails once, then succeeds,
+        # must reproduce it exactly: the retry re-runs the same payload
+        # into the same merge slot.
+        flag = tmp_path / "attempts"
+        plan = ExecutionPlan(
+            units=[
+                WorkUnit(runner=double, payload=1),
+                WorkUnit(runner=flaky, payload=(str(flag), 1, 2)),
+                WorkUnit(runner=double, payload=3),
+            ],
+            merge=list,
+        )
+        assert run_plan(
+            plan, workers=workers, fault_policy=retry_policy()
+        ) == reference
+        assert len(flag.read_text()) == 2  # one failure + one success
+
+    def test_exhausted_retries_raise_with_context(self, tmp_path):
+        flag = tmp_path / "attempts"
+        plan = ExecutionPlan(
+            units=[WorkUnit(
+                runner=flaky, payload=(str(flag), 99, 1), label="unit-a"
+            )],
+            merge=list,
+            label="retry-test",
+        )
+        with pytest.raises(UnitExecutionError) as excinfo:
+            run_plan(plan, fault_policy=retry_policy(retries=2))
+        failure = excinfo.value.failure
+        assert failure.index == 0
+        assert failure.label == "unit-a"
+        assert failure.attempts == 3
+        assert "transient fault" in failure.error
+        assert "transient fault" in failure.traceback
+        # Every attempt actually ran the unit.
+        assert len(flag.read_text()) == 3
+        # The message names the plan, the unit and the error.
+        message = str(excinfo.value)
+        assert "retry-test" in message
+        assert "unit-a" in message
+        assert "3 attempt(s)" in message
+
+    def test_raise_mode_never_retries(self, tmp_path):
+        flag = tmp_path / "attempts"
+        plan = ExecutionPlan(
+            units=[WorkUnit(runner=flaky, payload=(str(flag), 99, 1))],
+            merge=list,
+        )
+        with pytest.raises(UnitExecutionError):
+            run_plan(plan)  # default policy
+        assert len(flag.read_text()) == 1
+
+
+class TestSkip:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_skip_yields_partial_results_and_records_failures(
+        self, workers
+    ):
+        plan = ExecutionPlan(
+            units=[
+                WorkUnit(runner=double, payload=1),
+                WorkUnit(runner=boom, payload=2, label="doomed"),
+                WorkUnit(runner=double, payload=3),
+            ],
+            merge=list,
+        )
+        failures = []
+        outputs = run_plan(
+            plan,
+            workers=workers,
+            fault_policy=FaultPolicy(
+                on_error="skip", retries=1, backoff_seconds=0.0
+            ),
+            on_failure=failures.append,
+        )
+        # The failed unit occupies its merge slot as a UnitFailure; the
+        # survivors are untouched.
+        assert outputs[0] == 2 and outputs[2] == 6
+        assert isinstance(outputs[1], UnitFailure)
+        assert [f.index for f in failures] == [1]
+        assert failures[0].label == "doomed"
+        assert failures[0].attempts == 2
+        assert "exploded" in failures[0].error
+
+    def test_skipped_units_do_not_fire_on_unit(self):
+        plan = ExecutionPlan(
+            units=[
+                WorkUnit(runner=double, payload=1),
+                WorkUnit(runner=boom, payload=2),
+            ],
+            merge=None,
+        )
+        landed = []
+        run_plan(
+            plan,
+            on_unit=lambda index, output: landed.append(index),
+            fault_policy=FaultPolicy(
+                on_error="skip", retries=0, backoff_seconds=0.0
+            ),
+        )
+        assert landed == [0]
+
+
+class TestTimeout:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_timeout_fails_the_unit(self, workers):
+        plan = ExecutionPlan(
+            units=[
+                WorkUnit(runner=sleepy, payload=0.0),
+                WorkUnit(runner=sleepy, payload=30.0, label="hung"),
+            ],
+            merge=list,
+        )
+        failures = []
+        outputs = run_plan(
+            plan,
+            workers=workers,
+            fault_policy=FaultPolicy(
+                on_error="skip", retries=0, timeout_seconds=0.2
+            ),
+            on_failure=failures.append,
+        )
+        assert outputs[0] == "done"
+        assert isinstance(outputs[1], UnitFailure)
+        assert [f.label for f in failures] == ["hung"]
+        assert "UnitTimeout" in failures[0].error
+
+    def test_fast_units_are_untouched_by_the_deadline(self):
+        assert run_plan(
+            plan_of([1, 2]),
+            fault_policy=FaultPolicy(timeout_seconds=30.0),
+        ) == [2, 4]
+
+
+class TestPickleOnce:
+    def test_payloads_are_serialized_exactly_once(self):
+        # Regression: the picklability probe used to serialize every
+        # payload once to check and again at pool submission.  The
+        # encoded blobs now *are* the submission format.
+        payloads = [CountingPayload(v) for v in (1, 2, 3)]
+        plan = ExecutionPlan(
+            units=[WorkUnit(runner=unwrap, payload=p) for p in payloads],
+            merge=list,
+        )
+        blobs = _encode_units(plan)
+        assert blobs is not None
+        assert [p.pickled for p in payloads] == [1, 1, 1]
+        # The blobs really do carry the unit (runner, payload) pairs.
+        runner, payload = pickle.loads(blobs[1])
+        assert runner is unwrap and payload.value == 2
+
+    def test_pooled_run_uses_the_encoded_blobs(self):
+        payloads = [CountingPayload(v) for v in (1, 2, 3)]
+        plan = ExecutionPlan(
+            units=[WorkUnit(runner=unwrap, payload=p) for p in payloads],
+            merge=list,
+        )
+        assert run_plan(plan, workers=3) == [2, 4, 6]
+        assert [p.pickled for p in payloads] == [1, 1, 1]
 
 
 class TestSerialFallback:

@@ -513,3 +513,77 @@ class TestResultConstruction:
 
     def test_engines_constant(self):
         assert ENGINES == ("auto", "serial", "batch", "lockstep", "agent")
+
+
+def _benign_scenario(trial):
+    return []
+
+
+def _sabotage_scenario(trial):
+    if trial >= 4:
+        raise RuntimeError(f"trial {trial} sabotaged")
+    return []
+
+
+class TestFaultPolicyPlumbing:
+    def test_invalid_on_error_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="on_error"):
+            Experiment(Protocol.named("lv"), n=200, on_error="explode")
+        with pytest.raises(ValueError, match="retries"):
+            Experiment(Protocol.named("lv"), n=200, retries=-1)
+        with pytest.raises(ValueError, match="timeout"):
+            Experiment(Protocol.named("lv"), n=200, unit_timeout=0.0)
+
+    def test_default_policy_aborts_on_shard_failure(self):
+        from repro.runtime import UnitExecutionError
+
+        experiment = Experiment(
+            Protocol.named("lv"), n=200, trials=6, periods=10, seed=9,
+            workers=3, scenario=_sabotage_scenario,
+        )
+        with pytest.raises(UnitExecutionError, match="sabotaged"):
+            experiment.run()
+
+    def test_skip_yields_surviving_trials_with_failures_recorded(self):
+        # trials=6 on 3 shards: the sabotaged trials 4, 5 are shard 2.
+        clean = Experiment(
+            Protocol.named("lv"), n=200, trials=6, periods=10, seed=9,
+            workers=3, scenario=_benign_scenario,
+        ).run()
+        partial = Experiment(
+            Protocol.named("lv"), n=200, trials=6, periods=10, seed=9,
+            workers=3, scenario=_sabotage_scenario,
+            on_error="skip", retries=0,
+        ).run()
+        assert partial.trials == 4
+        assert [f.label for f in partial.failures] == ["shard 2"]
+        assert partial.trial_seeds == clean.trial_seeds[:4]
+        # The survivors' streams are bitwise untouched by the loss.
+        assert np.array_equal(
+            partial.count_tensor(), clean.count_tensor()[:4]
+        )
+
+    def test_retry_policy_leaves_clean_runs_bitwise_identical(self):
+        reference = Experiment(
+            Protocol.named("lv"), n=200, trials=6, periods=10, seed=9,
+            workers=3,
+        ).run()
+        guarded = Experiment(
+            Protocol.named("lv"), n=200, trials=6, periods=10, seed=9,
+            workers=3, on_error="retry", retries=3, unit_timeout=120.0,
+        ).run()
+        assert guarded.failures == []
+        assert guarded.trial_seeds == reference.trial_seeds
+        assert np.array_equal(
+            guarded.count_tensor(), reference.count_tensor()
+        )
+
+    def test_agent_tier_skip(self):
+        partial = Experiment(
+            Protocol.named("lv"), n=150, trials=6, periods=5, seed=9,
+            engine="agent", workers=2, scenario=_sabotage_scenario,
+            on_error="skip", retries=0,
+        ).run()
+        assert partial.trials == 4
+        assert len(partial.failures) == 2  # one unit per DES trial
+        assert {f.index for f in partial.failures} == {4, 5}

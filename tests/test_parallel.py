@@ -8,14 +8,36 @@ from repro.protocols.lv import lv_protocol
 from repro.runtime import (
     BatchMetricsRecorder,
     BatchRoundEngine,
+    FaultPolicy,
     MassiveFailure,
     ShardedBatchExecutor,
+    UnitExecutionError,
     shard_layout,
 )
 
 
 SPEC = lv_protocol(p=0.01)
 INITIAL = {"x": 120, "y": 80, "z": 0}
+
+
+def _noop_hook(engine):
+    return None
+
+
+class SabotageAboveTrial:
+    """Hook factory that raises for global trials >= ``threshold``.
+
+    Fails exactly the shards owning those trials while leaving every
+    other shard untouched; module-level so jobs stay picklable.
+    """
+
+    def __init__(self, threshold):
+        self.threshold = threshold
+
+    def __call__(self, trial):
+        if trial >= self.threshold:
+            raise RuntimeError(f"trial {trial} sabotaged")
+        return _noop_hook
 
 
 def run_sharded(trials, shards, workers, seed=42, periods=25, **kwargs):
@@ -57,6 +79,21 @@ class TestShardLayout:
             shard_layout(0, 5, 0)
         with pytest.raises(ValueError):
             shard_layout(0, 0, 1)
+
+    def test_layout_drift_aborts_instead_of_dropping_shards(
+        self, monkeypatch
+    ):
+        """Regression: a short seed family used to silently shorten the
+        layout via zip, dropping shards (and their trials) without a
+        trace; the invariant check must abort loudly instead."""
+        import repro.runtime.parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module, "spawn_seeds",
+            lambda entropy, count: [1, 2],  # too few for 3 shards
+        )
+        with pytest.raises(AssertionError, match="invariant"):
+            shard_layout(7, 10, 3)
 
 
 class TestBitwiseEquality:
@@ -203,6 +240,73 @@ class TestExperimentWorkers:
         ).run()
         assert result.engine == "serial"
         assert result.shards == 1
+
+
+class TestFaultIsolation:
+    SKIP = FaultPolicy(on_error="skip", retries=0, backoff_seconds=0.0)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_skip_drops_failed_shards_without_perturbing_survivors(
+        self, workers
+    ):
+        # trials=6 over 3 shards -> shard 2 owns global trials 4, 5;
+        # sabotaging those fails exactly that shard.
+        clean = run_sharded(
+            6, shards=3, workers=workers, hook_factories=[_noop_hook_factory]
+        )
+        partial = run_sharded(
+            6, shards=3, workers=workers,
+            hook_factories=[SabotageAboveTrial(4)],
+            fault_policy=self.SKIP,
+        )
+        assert [f.label for f in partial.failures] == ["shard 2"]
+        assert "sabotaged" in partial.failures[0].error
+        # The surviving shards' streams are bitwise untouched: they
+        # equal the first 4 trials of the clean run.
+        assert partial.trial_seeds == clean.trial_seeds[:4]
+        assert np.array_equal(
+            partial.recorder.count_tensor(),
+            clean.recorder.count_tensor()[:4],
+        )
+        assert np.array_equal(
+            partial.final_counts_matrix, clean.final_counts_matrix[:4]
+        )
+        # The full layout stays recorded, so the lost shard's seed is
+        # recoverable for a standalone re-run.
+        assert partial.shard_sizes == [2, 2, 2]
+        assert len(partial.shard_seeds) == 3
+
+    def test_all_shards_failing_raises_even_under_skip(self):
+        with pytest.raises(UnitExecutionError, match="all 3 shards"):
+            run_sharded(
+                6, shards=3, workers=1,
+                hook_factories=[SabotageAboveTrial(0)],
+                fault_policy=self.SKIP,
+            )
+
+    def test_default_policy_raises_with_shard_context(self):
+        with pytest.raises(UnitExecutionError, match="shard 2"):
+            run_sharded(
+                6, shards=3, workers=1,
+                hook_factories=[SabotageAboveTrial(4)],
+            )
+
+    def test_clean_runs_ignore_the_policy(self):
+        reference = run_sharded(6, shards=3, workers=1)
+        guarded = run_sharded(
+            6, shards=3, workers=1,
+            fault_policy=FaultPolicy(on_error="retry", retries=2),
+        )
+        assert guarded.failures == []
+        assert guarded.trial_seeds == reference.trial_seeds
+        assert np.array_equal(
+            guarded.recorder.count_tensor(),
+            reference.recorder.count_tensor(),
+        )
+
+
+def _noop_hook_factory(trial):
+    return _noop_hook
 
 
 class TestUnseededLayout:

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two campaign tensor directories for bitwise-equal results.
+
+The resume guarantee under test in CI: a campaign that was killed
+mid-run and finished with ``--resume`` must produce the same manifest
+and the same tensors as an uninterrupted run of the same spec.  Two
+kinds of noise are legitimately different and are normalized away:
+
+* wall-clock provenance -- ``elapsed_seconds`` and the manifest's
+  ``created`` stamp (pin the latter with ``SOURCE_DATE_EPOCH`` if you
+  want byte-identical manifests);
+* ``.npz`` container bytes -- the zip layer embeds entry timestamps,
+  so files are compared by *array contents*, which is what the
+  reproducibility contract promises.
+
+Usage:  python tools/compare_campaign_dirs.py DIR_A DIR_B
+Exit status 0 = equivalent, 1 = any difference (each one reported).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+WALL_CLOCK_KEYS = ("elapsed_seconds", "created")
+
+
+def scrub(data):
+    """Mask wall-clock provenance so only real content is compared."""
+    if isinstance(data, dict):
+        return {
+            key: "<wall-clock>" if key in WALL_CLOCK_KEYS else scrub(value)
+            for key, value in data.items()
+        }
+    if isinstance(data, list):
+        return [scrub(value) for value in data]
+    return data
+
+
+def diff_paths(a, b, prefix=""):
+    """Human-readable paths where two scrubbed JSON trees differ."""
+    if type(a) is not type(b):
+        return [f"{prefix or '.'}: {type(a).__name__} != {type(b).__name__}"]
+    if isinstance(a, dict):
+        problems = []
+        for key in sorted(set(a) | set(b)):
+            where = f"{prefix}.{key}" if prefix else str(key)
+            if key not in a or key not in b:
+                problems.append(f"{where}: only in one manifest")
+            else:
+                problems.extend(diff_paths(a[key], b[key], where))
+        return problems
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return [f"{prefix}: length {len(a)} != {len(b)}"]
+        problems = []
+        for index, (va, vb) in enumerate(zip(a, b)):
+            problems.extend(diff_paths(va, vb, f"{prefix}[{index}]"))
+        return problems
+    return [] if a == b else [f"{prefix}: {a!r} != {b!r}"]
+
+
+def compare(dir_a: Path, dir_b: Path) -> list:
+    problems = []
+    try:
+        manifest_a = json.loads((dir_a / "manifest.json").read_text())
+        manifest_b = json.loads((dir_b / "manifest.json").read_text())
+    except FileNotFoundError as exc:
+        return [f"missing manifest: {exc}"]
+    problems.extend(
+        diff_paths(scrub(manifest_a), scrub(manifest_b), "manifest")
+    )
+
+    names_a = sorted(p.name for p in dir_a.glob("*.npz"))
+    names_b = sorted(p.name for p in dir_b.glob("*.npz"))
+    if names_a != names_b:
+        problems.append(f"tensor files differ: {names_a} != {names_b}")
+    for name in sorted(set(names_a) & set(names_b)):
+        with np.load(dir_a / name) as a, np.load(dir_b / name) as b:
+            if sorted(a.files) != sorted(b.files):
+                problems.append(f"{name}: keys {a.files} != {b.files}")
+                continue
+            for key in a.files:
+                if not np.array_equal(a[key], b[key]):
+                    problems.append(f"{name}[{key}]: arrays differ")
+    return problems
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    dir_a, dir_b = Path(argv[0]), Path(argv[1])
+    problems = compare(dir_a, dir_b)
+    if problems:
+        print(f"{dir_a} and {dir_b} are NOT equivalent:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        f"{dir_a} and {dir_b} are equivalent "
+        f"(manifests match modulo wall clock; tensors bitwise equal)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
