@@ -20,6 +20,12 @@ Usage::
                                [--shards 4] [--save-tensors DIR]
                                [--out results.json] [--dry-run]
                                [--replay results.json]
+    python -m repro serve     --protocol endemic --n 1000 --dir state/
+                               [--seed 42] [--port 7341 | --no-listen]
+                               [--tick-seconds 1.0] [--periods-per-tick 1]
+                               [--snapshot-every 100] [--max-periods 0]
+                               [--events script.jsonl] [--virtual-clock]
+    python -m repro replay    state/ [--from-snapshot] [--quiet]
 
 ``equations.txt`` holds one equation per line, e.g.::
 
@@ -33,6 +39,7 @@ Symbols that are not variables must be bound with ``--param``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -640,6 +647,161 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def _load_event_script(path: Path) -> List["ScriptedEvent"]:
+    from .service.service import ScriptedEvent
+
+    text = path.read_text()
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        payload = None
+    if isinstance(payload, list):
+        records = payload
+    else:
+        records = [
+            json.loads(line) for line in text.splitlines() if line.strip()
+        ]
+    return [ScriptedEvent.from_dict(record) for record in records]
+
+
+def cmd_serve(args) -> int:
+    """Run a protocol population as a live service (see docs/service.md)."""
+    import asyncio
+    import signal
+
+    import numpy as np
+
+    from .service import (
+        LiveConfig,
+        LiveEngine,
+        ProtocolService,
+        ServiceCore,
+        VirtualClock,
+        WallClock,
+        serve_tcp,
+    )
+
+    if args.virtual_clock and not args.max_periods:
+        print("--virtual-clock needs --max-periods (virtual time has no "
+              "external clients to wait for)", file=sys.stderr)
+        return 1
+    initial = _parse_bindings(args.initial, "initial") or None
+    # An unseeded service still gets a concrete recorded seed -- the
+    # event log must reconstruct the exact engine (same rule as
+    # Experiment's root seed).
+    seed = (
+        args.seed if args.seed is not None
+        else int(np.random.SeedSequence().generate_state(1)[0])
+    )
+    try:
+        config = LiveConfig(
+            protocol=args.protocol, n=args.n, seed=seed,
+            loss_rate=args.loss_rate, initial=initial,
+        )
+        live = LiveEngine(config)
+    except KeyError:
+        print(f"{args.protocol!r} is not a registered protocol; "
+              f"available: {', '.join(available_protocols())}",
+              file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"invalid service config: {exc}", file=sys.stderr)
+        return 1
+    script = []
+    if args.events:
+        try:
+            script = _load_event_script(Path(args.events))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load event script {args.events}: {exc}",
+                  file=sys.stderr)
+            return 1
+    try:
+        core = ServiceCore(
+            live, directory=Path(args.dir),
+            snapshot_every=args.snapshot_every,
+        )
+    except FileExistsError as exc:
+        print(f"{exc}", file=sys.stderr)
+        return 1
+    clock = VirtualClock() if args.virtual_clock else WallClock()
+    service = ProtocolService(
+        core, clock=clock, tick_seconds=args.tick_seconds,
+        periods_per_tick=args.periods_per_tick, script=script,
+        max_periods=args.max_periods or None,
+    )
+
+    async def amain() -> None:
+        await service.start()
+        server = None
+        if not args.no_listen:
+            server = await serve_tcp(service, args.host, args.port)
+            port = server.sockets[0].getsockname()[1]
+            print(f"serving {config.protocol!r} (n={config.n}, "
+                  f"seed={config.seed}) on {args.host}:{port}", flush=True)
+        else:
+            print(f"running {config.protocol!r} (n={config.n}, "
+                  f"seed={config.seed}), no listener", flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(service.stop())
+            )
+        if isinstance(clock, VirtualClock):
+            while not service.finished.is_set():
+                await clock.advance(service.tick_seconds)
+        else:
+            await service.finished.wait()
+        await service.stop()
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(amain())
+    print(f"stopped at period {core.live.period} after "
+          f"{core.log.next_seq} logged event(s), "
+          f"{core.snapshots_written} snapshot(s); replay with "
+          f"`python -m repro replay {args.dir}`")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Replay a service directory and verify the logged state stream."""
+    from .service import replay_directory
+    from .store.eventlog import EventLogError
+    from .store.snapshots import SnapshotError
+
+    try:
+        report = replay_directory(
+            args.directory, from_snapshot=args.from_snapshot,
+        )
+    except FileNotFoundError as exc:
+        print(f"not a service directory: {exc}", file=sys.stderr)
+        return 1
+    except (EventLogError, SnapshotError) as exc:
+        print(f"cannot replay: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        anchor = (
+            f"snapshot {report.from_snapshot}" if report.from_snapshot
+            else "genesis (init record)"
+        )
+        print(f"replayed {report.replayed} event(s) from {anchor}")
+        if report.torn_tail:
+            print("note: dropped a torn final log line (crash-time write)")
+    if report.mismatches:
+        print(f"REPLAY MISMATCH: {len(report.mismatches)} divergence(s):",
+              file=sys.stderr)
+        for mismatch in report.mismatches[:10]:
+            print(f"  {mismatch}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        counts = report.final_counts()
+        period = report.core.live.period if report.core else "?"
+        print(f"final counts at period {period}: {counts}")
+        print("replay verified: state stream is bit-identical to the log")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -841,6 +1003,68 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="wall-clock bound per work-unit attempt")
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a protocol population continuously as a live service "
+             "(event log + snapshots in --dir; newline-JSON over TCP)",
+    )
+    p_serve.add_argument("--protocol", required=True,
+                         help="registry protocol name (the log must be "
+                              "able to reconstruct the engine by name)")
+    p_serve.add_argument("--n", type=int, default=1000, help="group size")
+    p_serve.add_argument("--seed", type=int, default=None,
+                         help="root seed (default: drawn and recorded "
+                              "in the init event, so runs always replay)")
+    p_serve.add_argument("--loss-rate", type=float, default=0.0,
+                         help="per-connection failure rate")
+    p_serve.add_argument("--initial", action="append", default=[],
+                         metavar="STATE=COUNT",
+                         help="initial counts, overriding the protocol's "
+                              "registered start")
+    p_serve.add_argument("--dir", required=True,
+                         help="service state directory (events.jsonl + "
+                              "snapshots); must not already hold a log")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (default 0 = ephemeral, printed "
+                              "on startup)")
+    p_serve.add_argument("--no-listen", action="store_true",
+                         help="no TCP endpoint; tick until --max-periods "
+                              "or a signal")
+    p_serve.add_argument("--tick-seconds", type=float, default=1.0,
+                         help="clock seconds between protocol ticks")
+    p_serve.add_argument("--periods-per-tick", type=int, default=1,
+                         help="protocol periods advanced per tick")
+    p_serve.add_argument("--snapshot-every", type=int, default=0,
+                         help="checkpoint every this many periods "
+                              "(0 = never)")
+    p_serve.add_argument("--max-periods", type=int, default=0,
+                         help="stop after this many periods (0 = run "
+                              "until signalled)")
+    p_serve.add_argument("--events", metavar="FILE",
+                         help="scripted membership events: JSON list or "
+                              "JSONL of {at_period, kind, ...} records, "
+                              "applied when the period is reached")
+    p_serve.add_argument("--virtual-clock", action="store_true",
+                         help="drive ticks on a virtual clock as fast as "
+                              "possible (deterministic batch mode; "
+                              "needs --max-periods)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="replay a service directory's event log and verify the "
+             "state stream reproduces bit-for-bit",
+    )
+    p_replay.add_argument("directory",
+                          help="service directory written by 'serve'")
+    p_replay.add_argument("--from-snapshot", action="store_true",
+                          help="start from the latest intact snapshot "
+                               "instead of the init record")
+    p_replay.add_argument("--quiet", action="store_true",
+                          help="no output; exit status only")
+    p_replay.set_defaults(func=cmd_replay)
 
     p_analyze_campaign = sub.add_parser(
         "analyze-campaign",

@@ -202,6 +202,46 @@ class Experiment:
         )
 
     # ------------------------------------------------------------------
+    # Forking off a live population (the service tier's what-if hook)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_live(
+        cls,
+        live,
+        *,
+        trials: int,
+        periods: int,
+        seed: Optional[int] = None,
+        **kwargs,
+    ) -> "Experiment":
+        """Fork a batch what-if ensemble off a live population.
+
+        ``live`` is anything with a ``fork_state()`` returning the
+        :class:`repro.service.live.LiveEngine` fork recipe (protocol
+        name, alive count, current census, loss rate) -- duck-typed so
+        the experiment layer stays import-independent of the service
+        tier.  The ensemble asks "starting from the population as it
+        stands *right now*, what do ``trials`` independent futures look
+        like?", using the ordinary batch fan-out underneath.
+        """
+        fork = live.fork_state()
+        if fork["n"] < 2:
+            raise ValueError(
+                f"live population too small to fork "
+                f"(alive={fork['n']}, need >= 2)"
+            )
+        return cls(
+            fork["protocol"],
+            fork["n"],
+            trials=trials,
+            periods=periods,
+            seed=seed,
+            loss_rate=fork["loss_rate"],
+            initial=fork["initial"],
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:

@@ -29,8 +29,8 @@ as the original traces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -87,6 +87,36 @@ class ChurnTrace:
             last_time = event.time_hours
         weighted += online * (self.duration_hours - last_time)
         return weighted / (self.n_hosts * self.duration_hours)
+
+    def per_host_availability(self) -> np.ndarray:
+        """Time-averaged availability of each host, in ``[0, 1]``.
+
+        Hosts are independent in the generator, so these make an i.i.d.
+        sample suitable for a z-test on the mean -- unlike the single
+        pooled :meth:`mean_availability` number.
+        """
+        weighted = np.zeros(self.n_hosts)
+        online = self.initially_online.astype(bool).copy()
+        last = np.zeros(self.n_hosts)
+        for event in self.events:
+            host = event.host
+            if online[host]:
+                weighted[host] += event.time_hours - last[host]
+            last[host] = event.time_hours
+            online[host] = event.online
+        weighted[online] += self.duration_hours - last[online]
+        return weighted / self.duration_hours
+
+    def per_host_arrivals_per_day(self) -> np.ndarray:
+        """Arrival (rejoin) events per host, scaled to a 24-hour day."""
+        arrivals = np.zeros(self.n_hosts)
+        for event in self.events:
+            if event.online:
+                arrivals[event.host] += 1
+        days = self.duration_hours / 24.0
+        if days <= 0:
+            return arrivals
+        return arrivals / days
 
 
 def generate_trace(

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import re
 import signal
 import threading
 import time
@@ -62,6 +63,7 @@ import traceback as traceback_module
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path, PurePath
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -251,6 +253,47 @@ def _attempt_deadline(seconds: Optional[float]):
         signal.signal(signal.SIGALRM, previous)
 
 
+#: Longest traceback text a UnitFailure will carry.  Failures under
+#: ``on_error="skip"`` are persisted verbatim into campaign manifests,
+#: and a runaway recursion trace would bloat every later manifest diff.
+_TRACEBACK_LIMIT = 8000
+
+_TRACEBACK_FILE_RE = re.compile(r'(File ")([^"]+)(")')
+
+
+def _normalize_traceback(text: str) -> str:
+    """Make a captured traceback checkout-location-independent.
+
+    Campaign manifests persist these strings, and the resume test
+    compares manifests produced by *different* runs of the same spec --
+    which may live in different checkouts or virtualenvs.  Absolute
+    ``File "..."`` paths are rewritten to be stable: paths under the
+    current working directory become relative to it, any other absolute
+    path keeps only its last three components.  Long traces are
+    truncated head-first (the raising frame is at the tail).
+    """
+    cwd = Path.cwd()
+
+    def rewrite(match: "re.Match") -> str:
+        raw = match.group(2)
+        path = PurePath(raw)
+        if not path.is_absolute():
+            return match.group(0)
+        try:
+            stable = PurePath(raw).relative_to(cwd)
+        except ValueError:
+            stable = PurePath(*path.parts[-3:])
+        return f'{match.group(1)}{stable.as_posix()}{match.group(3)}'
+
+    text = _TRACEBACK_FILE_RE.sub(rewrite, text)
+    if len(text) > _TRACEBACK_LIMIT:
+        text = (
+            f"... ({len(text) - _TRACEBACK_LIMIT} chars truncated)\n"
+            + text[-_TRACEBACK_LIMIT:]
+        )
+    return text
+
+
 def _attempt_unit(
     index: int,
     runner: Callable[[Any], Any],
@@ -272,7 +315,7 @@ def _attempt_unit(
                 return index, runner(payload), None
         except Exception as exc:
             error = repr(exc)
-            trace = traceback_module.format_exc()
+            trace = _normalize_traceback(traceback_module.format_exc())
             if attempt + 1 < policy.attempts:
                 time.sleep(policy.backoff_for(attempt))
     return index, None, UnitFailure(

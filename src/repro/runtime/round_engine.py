@@ -46,13 +46,13 @@ the biased coins are heavily weighted toward tails (e.g. alpha = 1e-6).
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..synthesis.actions import (
-    Action,
     AnyOfSampleAction,
     FlipAction,
     PushAction,
@@ -291,6 +291,49 @@ class RoundEngine:
     def elapsed_time(self) -> float:
         """ODE time corresponding to the periods run so far."""
         return self.spec.time_for_periods(self.period)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (the live-service replay contract)
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, object]:
+        """Capture everything that evolves after construction.
+
+        The RNGs are serialized with pickle rather than
+        ``bit_generator.state`` because a Generator also buffers partial
+        output (MT19937 keeps a spare uint32 between 32-bit draws);
+        dropping that buffer would silently fork the stream.  An engine
+        built with the same ``(spec, n, connection_failure_rate)`` and
+        then ``restore_state``-d continues bit-identically.
+        """
+        return {
+            "states": self.states.copy(),
+            "alive": self.alive.copy(),
+            "period": self.period,
+            "total_messages": self.total_messages,
+            "rng_pickle": pickle.dumps(
+                self._rng, protocol=pickle.HIGHEST_PROTOCOL
+            ),
+            "fault_rng_pickle": pickle.dumps(
+                self._fault_rng, protocol=pickle.HIGHEST_PROTOCOL
+            ),
+        }
+
+    def restore_state(self, snapshot: Mapping[str, object]) -> None:
+        """Inverse of :meth:`state_snapshot` (trusted input only)."""
+        states = np.asarray(snapshot["states"], dtype=np.int8)
+        alive = np.asarray(snapshot["alive"], dtype=bool)
+        if states.shape != (self.n,) or alive.shape != (self.n,):
+            raise ValueError(
+                f"snapshot is for a different population "
+                f"(n={states.shape}, engine n={self.n})"
+            )
+        self.states = states.copy()
+        self.alive = alive.copy()
+        self.period = int(snapshot["period"])
+        self.total_messages = int(snapshot["total_messages"])
+        self._rng = pickle.loads(snapshot["rng_pickle"])
+        self._fault_rng = pickle.loads(snapshot["fault_rng_pickle"])
+        self.last_transitions = {}
 
     # ------------------------------------------------------------------
     # Fault injection (used directly and by runtime.failures hooks)

@@ -1,0 +1,350 @@
+"""The deterministic heart of the live service.
+
+:class:`ServiceCore` is deliberately *synchronous*: every externally
+visible mutation -- membership event, clock tick, checkpoint, shutdown
+-- happens in one atomic call that also appends the matching record to
+the event log.  The asyncio shell (:mod:`repro.service.service`)
+serializes calls through the event loop, so queries can never observe
+a half-applied mutation; the replay verifier and the hypothesis
+property suite drive the core directly, with no event loop at all.
+
+The state *stream* is the replay contract's unit of comparison: one
+:class:`StreamRow` per logged mutation, carrying the post-event census.
+Replaying the log must reproduce the stream bit for bit.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
+
+from ..store.eventlog import EVENTS_NAME, EventLog, LoggedEvent, MemoryEventLog
+from ..store.snapshots import save_snapshot
+from .live import LiveEngine
+
+SNAPSHOT_PATTERN = "snapshot-{period:08d}.npz"
+
+#: Query operations the core understands (the service's read surface).
+QUERY_OPS = (
+    "status", "counts", "fractions", "equilibrium", "majority",
+    "convergence",
+)
+
+
+@dataclass(frozen=True)
+class StreamRow:
+    """Census after one logged event; the unit of replay comparison."""
+
+    seq: int
+    period: int
+    counts: Tuple[int, ...]
+    alive: int
+    total_messages: int
+
+    def counts_dict(self, state_names: Tuple[str, ...]) -> Dict[str, int]:
+        return dict(zip(state_names, self.counts))
+
+
+class ServiceCore:
+    """Event-sourced driver for one :class:`LiveEngine`.
+
+    Parameters
+    ----------
+    live:
+        The population to drive.
+    directory:
+        Service state directory; when given, an :class:`EventLog` is
+        created at ``<directory>/events.jsonl`` and snapshots are
+        written alongside it.  Mutually exclusive with ``log``.
+    log:
+        An explicit log (typically :class:`MemoryEventLog`) for replay
+        and property tests.
+    snapshot_every:
+        Auto-checkpoint period spacing (0 = only explicit snapshots).
+    history_window:
+        How many recent stream rows back the convergence query looks.
+    retain_stream:
+        Keep the full stream in memory (tests / replay verification);
+        a long-running server leaves this off and relies on the log.
+    """
+
+    def __init__(
+        self,
+        live: LiveEngine,
+        *,
+        directory: Optional[os.PathLike] = None,
+        log: Optional[Any] = None,
+        snapshot_every: int = 0,
+        history_window: int = 64,
+        retain_stream: bool = False,
+    ):
+        if (directory is None) == (log is None):
+            raise ValueError("pass exactly one of directory= or log=")
+        self.live = live
+        self.directory = None if directory is None else Path(directory)
+        if self.directory is not None:
+            self.log = EventLog(self.directory / EVENTS_NAME)
+        else:
+            self.log = log
+        self.snapshot_every = int(snapshot_every)
+        self.history_window = int(history_window)
+        self.history: Deque[StreamRow] = deque(maxlen=self.history_window)
+        self.retain_stream = retain_stream
+        self.stream: List[StreamRow] = []
+        self.snapshots_written = 0
+        self._last_snapshot_period: Optional[int] = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def start(self) -> LoggedEvent:
+        """Log the construction recipe; must be the first log record."""
+        if self._started:
+            raise RuntimeError("service core already started")
+        self._started = True
+        event = self.log.append("init", self.live.period, {
+            "config": self.live.config.to_dict(),
+            "states": list(self.live.state_names),
+            "counts": self.live.counts(),
+            "alive": self.live.alive_count(),
+        })
+        self._observe(event.seq)
+        return event
+
+    def close(self) -> LoggedEvent:
+        """Log an orderly shutdown with the final census."""
+        self._require_open()
+        self._closed = True
+        event = self.log.append("close", self.live.period, {
+            "counts": self.live.counts(),
+            "alive": self.live.alive_count(),
+            "total_messages": self.live.engine.total_messages,
+        })
+        self.log.close()
+        return event
+
+    def _require_open(self) -> None:
+        if not self._started:
+            raise RuntimeError("service core not started")
+        if self._closed:
+            raise RuntimeError("service core already closed")
+
+    # ------------------------------------------------------------------
+    # Mutations (each one = exactly one log record)
+    # ------------------------------------------------------------------
+    def apply_event(self, kind: str, data: Mapping[str, Any]) -> LoggedEvent:
+        """Apply a membership event and log it with its effect."""
+        self._require_open()
+        effect = self.live.apply(kind, data)
+        event = self.log.append(
+            kind, self.live.period, {**dict(data), "effect": effect},
+        )
+        self._observe(event.seq)
+        return event
+
+    def tick(self, periods: int = 1) -> LoggedEvent:
+        """Advance the protocol and log the resulting census.
+
+        The logged census is what replay verifies against, period by
+        period; a divergence anywhere in engine stepping or RNG
+        state shows up here as a loud mismatch.
+        """
+        self._require_open()
+        if periods < 1:
+            raise ValueError(f"periods must be >= 1, got {periods}")
+        self.live.advance(periods)
+        event = self.log.append("tick", self.live.period, {
+            "periods": int(periods),
+            "counts": self.live.counts(),
+            "alive": self.live.alive_count(),
+            "total_messages": self.live.engine.total_messages,
+        })
+        self._observe(event.seq)
+        if (
+            self.snapshot_every > 0
+            and self.directory is not None
+            and self.live.period - (self._last_snapshot_period or 0)
+            >= self.snapshot_every
+        ):
+            self.snapshot_now()
+        return event
+
+    def snapshot_now(self) -> Optional[Path]:
+        """Checkpoint now; returns the snapshot path (None if log-only)."""
+        self._require_open()
+        self._last_snapshot_period = self.live.period
+        if self.directory is None:
+            # Keep the log structurally identical to a directory-backed
+            # run (replay relies on seq alignment) without touching disk.
+            self.log.append("snapshot", self.live.period, {"file": None})
+            self.snapshots_written += 1
+            return None
+        name = SNAPSHOT_PATTERN.format(period=self.live.period)
+        arrays, meta = self.live.snapshot()
+        meta["seq"] = self.log.next_seq  # seq of the snapshot record below
+        meta["history"] = [
+            {
+                "seq": row.seq,
+                "period": row.period,
+                "counts": list(row.counts),
+                "alive": row.alive,
+                "total_messages": row.total_messages,
+            }
+            for row in self.history
+        ]
+        path = save_snapshot(self.directory / name, arrays, meta)
+        self.log.append("snapshot", self.live.period, {"file": name})
+        self.snapshots_written += 1
+        return path
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        arrays: Mapping[str, Any],
+        meta: Mapping[str, Any],
+        *,
+        log: Any,
+        history_window: int = 64,
+        retain_stream: bool = False,
+    ) -> "ServiceCore":
+        """Rebuild a mid-stream core from a loaded snapshot.
+
+        The snapshot's retained history window is restored too, so
+        window-dependent queries (convergence) answer identically to
+        the original immediately after the restore point.
+        """
+        live = LiveEngine.restore(arrays, meta)
+        core = cls(
+            live, log=log, history_window=history_window,
+            retain_stream=retain_stream,
+        )
+        for row in meta.get("history", []):
+            core.history.append(StreamRow(
+                seq=int(row["seq"]),
+                period=int(row["period"]),
+                counts=tuple(int(c) for c in row["counts"]),
+                alive=int(row["alive"]),
+                total_messages=int(row["total_messages"]),
+            ))
+        core._last_snapshot_period = live.period
+        core._started = True
+        return core
+
+    def _observe(self, seq: int) -> None:
+        counts = self.live.counts()
+        row = StreamRow(
+            seq=seq,
+            period=self.live.period,
+            counts=tuple(counts[s] for s in self.live.state_names),
+            alive=self.live.alive_count(),
+            total_messages=self.live.engine.total_messages,
+        )
+        self.history.append(row)
+        if self.retain_stream:
+            self.stream.append(row)
+
+    # ------------------------------------------------------------------
+    # Queries (read-only, wall-clock-free, pure functions of state)
+    # ------------------------------------------------------------------
+    def query(
+        self, op: str, params: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        params = dict(params or {})
+        if op not in QUERY_OPS:
+            raise ValueError(
+                f"unknown query op {op!r}; expected one of {QUERY_OPS}"
+            )
+        return getattr(self, f"_query_{op}")(params)
+
+    def _query_status(self, params) -> Dict[str, Any]:
+        return {
+            "protocol": self.live.config.protocol,
+            "n": self.live.config.n,
+            "period": self.live.period,
+            "alive": self.live.alive_count(),
+            "events": self.log.next_seq,
+            "snapshots": self.snapshots_written,
+            "closed": self._closed,
+        }
+
+    def _query_counts(self, params) -> Dict[str, Any]:
+        return {
+            "period": self.live.period,
+            "counts": self.live.counts(),
+            "alive": self.live.alive_count(),
+        }
+
+    def _query_fractions(self, params) -> Dict[str, Any]:
+        return {
+            "period": self.live.period,
+            "fractions": self.live.fractions(),
+            "alive": self.live.alive_count(),
+        }
+
+    def _query_equilibrium(self, params) -> Dict[str, Any]:
+        """Distance of the live census from the analytic equilibrium."""
+        expected = self.live.equilibrium_fractions()
+        observed = self.live.fractions()
+        result: Dict[str, Any] = {
+            "period": self.live.period,
+            "fractions": observed,
+            "expected": expected,
+        }
+        if expected is None:
+            result["max_abs_error"] = None
+        else:
+            result["max_abs_error"] = max(
+                abs(observed[s] - expected.get(s, 0.0)) for s in observed
+            )
+        return result
+
+    def _query_majority(self, params) -> Dict[str, Any]:
+        """Current dominant state and its margin (LV-style accuracy)."""
+        counts = self.live.counts()
+        alive = self.live.alive_count()
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        top_state, top = ranked[0]
+        second = ranked[1][1] if len(ranked) > 1 else 0
+        return {
+            "period": self.live.period,
+            "leader": top_state,
+            "count": top,
+            "margin": (top - second) / alive if alive else 0.0,
+            "strict_majority": bool(alive and top * 2 > alive),
+        }
+
+    def _query_convergence(self, params) -> Dict[str, Any]:
+        """Has the census settled over the recent history window?"""
+        window = int(params.get("window", self.history_window))
+        tol = float(params.get("tol", 0.02))
+        rows = [r for r in list(self.history)[-window:] if r.alive > 0]
+        if len(rows) < 2:
+            return {
+                "period": self.live.period,
+                "window": len(rows),
+                "max_delta_fraction": None,
+                "settled": False,
+            }
+        per_state = zip(*(
+            tuple(c / row.alive for c in row.counts) for row in rows
+        ))
+        max_delta = max(max(vals) - min(vals) for vals in per_state)
+        return {
+            "period": self.live.period,
+            "window": len(rows),
+            "max_delta_fraction": max_delta,
+            "settled": max_delta <= tol,
+        }

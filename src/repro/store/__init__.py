@@ -6,10 +6,32 @@
 * :class:`~repro.store.majority_service.MajorityService` -- a
   LOCKSS-style repeated majority-polling service on the LV protocol
   (Section 4.2).
+
+Plus the persistence primitives the live service tier sits on:
+
+* :mod:`~repro.store.eventlog` -- append-only JSONL event log with
+  torn-tail-tolerant reads (the replay source of truth);
+* :mod:`~repro.store.snapshots` -- checksummed, atomically-written
+  ``.npz`` state snapshots.
 """
 
+from .eventlog import (
+    EVENTS_NAME,
+    EventLog,
+    EventLogError,
+    LoggedEvent,
+    MemoryEventLog,
+    read_events,
+)
 from .filestore import FetchResult, MigratoryFileStore, StoredFile
 from .majority_service import MajorityService, PollRecord
+from .snapshots import (
+    SnapshotError,
+    generator_from_array,
+    generator_to_array,
+    load_snapshot,
+    save_snapshot,
+)
 
 __all__ = [
     "MigratoryFileStore",
@@ -17,4 +39,15 @@ __all__ = [
     "FetchResult",
     "MajorityService",
     "PollRecord",
+    "EventLog",
+    "EventLogError",
+    "EVENTS_NAME",
+    "LoggedEvent",
+    "MemoryEventLog",
+    "read_events",
+    "SnapshotError",
+    "save_snapshot",
+    "load_snapshot",
+    "generator_to_array",
+    "generator_from_array",
 ]

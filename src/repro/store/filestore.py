@@ -15,8 +15,10 @@ accounting, and the Section 5.1 bandwidth bookkeeping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -29,6 +31,13 @@ from ..protocols.endemic import (
 )
 from ..runtime.metrics import MetricsRecorder
 from ..runtime.round_engine import RoundEngine
+from .snapshots import (
+    SnapshotError,
+    generator_from_array,
+    generator_to_array,
+    load_snapshot,
+    save_snapshot,
+)
 
 
 @dataclass
@@ -42,6 +51,7 @@ class StoredFile:
     inserted_period: int
     transfers: int = 0
     lost_at_period: Optional[int] = None
+    params: Optional[EndemicParams] = None  # recorded for persistence
 
     @property
     def lost(self) -> bool:
@@ -136,6 +146,7 @@ class MigratoryFileStore:
             engine=engine,
             recorder=recorder,
             inserted_period=self.period,
+            params=file_params,
         )
         self.files[name] = stored
         return stored
@@ -230,6 +241,108 @@ class MigratoryFileStore:
 
     def lost_files(self) -> List[str]:
         return [name for name, f in self.files.items() if f.lost]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    SNAPSHOT_KIND = "migratory-filestore"
+
+    def save(self, path: os.PathLike) -> Path:
+        """Checkpoint the store to a snapshot file (atomic write).
+
+        Captures every bit that affects future behaviour: each file's
+        engine state (states, alive mask, RNG streams), the fetch/crash
+        RNG, the down-host set and the store clock.  Recorder *history*
+        is deliberately not persisted -- it is derived observability
+        data, so a restored store reports bandwidth only over periods
+        ticked after the restore (see ``docs/service.md``).
+        """
+        arrays: Dict[str, np.ndarray] = {
+            "fetch_rng": generator_to_array(self._fetch_rng),
+        }
+        files_meta = []
+        for index, stored in enumerate(self.files.values()):
+            state = stored.engine.state_snapshot()
+            arrays[f"file{index}.states"] = state["states"]
+            arrays[f"file{index}.alive"] = state["alive"]
+            arrays[f"file{index}.rng"] = np.frombuffer(
+                state["rng_pickle"], dtype=np.uint8
+            )
+            arrays[f"file{index}.fault_rng"] = np.frombuffer(
+                state["fault_rng_pickle"], dtype=np.uint8
+            )
+            files_meta.append({
+                "name": stored.name,
+                "size_bytes": stored.size_bytes,
+                "inserted_period": stored.inserted_period,
+                "transfers": stored.transfers,
+                "lost_at_period": stored.lost_at_period,
+                "params": asdict(stored.params or self.params),
+                "engine_period": state["period"],
+                "engine_total_messages": state["total_messages"],
+            })
+        meta = {
+            "kind": self.SNAPSHOT_KIND,
+            "n": self.n,
+            "params": asdict(self.params),
+            "period_seconds": self.period_seconds,
+            "seed": self._seed,
+            "period": self.period,
+            "down_hosts": sorted(self._down_hosts),
+            "files": files_meta,
+        }
+        return save_snapshot(path, arrays, meta)
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "MigratoryFileStore":
+        arrays, meta = load_snapshot(path)
+        if meta.get("kind") != cls.SNAPSHOT_KIND:
+            raise SnapshotError(
+                f"{path}: snapshot kind {meta.get('kind')!r}, "
+                f"expected {cls.SNAPSHOT_KIND!r}"
+            )
+        store = cls(
+            int(meta["n"]),
+            EndemicParams(**meta["params"]),
+            period_seconds=float(meta["period_seconds"]),
+            seed=int(meta["seed"]),
+        )
+        store.period = int(meta["period"])
+        store._down_hosts = set(int(h) for h in meta["down_hosts"])
+        store._fetch_rng = generator_from_array(arrays["fetch_rng"])
+        for index, file_meta in enumerate(meta["files"]):
+            file_params = EndemicParams(**file_meta["params"])
+            spec = figure1_protocol(file_params)
+            # Same construction seed as insert() used; the restored RNG
+            # pickles below overwrite whatever the constructor drew.
+            engine = RoundEngine(
+                spec,
+                n=store.n,
+                initial={RECEPTIVE: store.n - 1, STASH: 1, AVERSE: 0},
+                seed=store._seed + index * 7919 + 1,
+            )
+            engine.restore_state({
+                "states": arrays[f"file{index}.states"],
+                "alive": arrays[f"file{index}.alive"],
+                "period": file_meta["engine_period"],
+                "total_messages": file_meta["engine_total_messages"],
+                "rng_pickle": arrays[f"file{index}.rng"].tobytes(),
+                "fault_rng_pickle": arrays[f"file{index}.fault_rng"].tobytes(),
+            })
+            store.files[file_meta["name"]] = StoredFile(
+                name=file_meta["name"],
+                size_bytes=float(file_meta["size_bytes"]),
+                engine=engine,
+                recorder=MetricsRecorder(spec.states),
+                inserted_period=int(file_meta["inserted_period"]),
+                transfers=int(file_meta["transfers"]),
+                lost_at_period=(
+                    None if file_meta["lost_at_period"] is None
+                    else int(file_meta["lost_at_period"])
+                ),
+                params=file_params,
+            )
+        return store
 
     # ------------------------------------------------------------------
     # Accounting (Section 5.1 reality check)

@@ -18,12 +18,21 @@ matched the pre-poll majority, and the convergence time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..protocols.lv import ONE, UNDECIDED, ZERO, LVMajority
+from ..protocols.lv import ONE, ZERO, LVMajority
+from .snapshots import (
+    SnapshotError,
+    generator_from_array,
+    generator_to_array,
+    load_snapshot,
+    save_snapshot,
+)
 
 
 @dataclass
@@ -143,6 +152,62 @@ class MajorityService:
         if winner_version is not None:
             self.versions[:] = winner_version  # repair divergent copies
         return record
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    SNAPSHOT_KIND = "majority-service"
+
+    def save(self, path: os.PathLike) -> Path:
+        """Checkpoint the full service state to a snapshot file.
+
+        Everything that affects future behaviour is captured: version
+        tags, the corruption RNG (with its buffered draws), the poll
+        history (it seeds the next poll via ``len(self.polls)``) and the
+        logical clock.  ``load`` restores a service whose subsequent
+        ``corrupt``/``poll`` calls are bit-identical to the original's.
+        """
+        arrays = {
+            "versions": self.versions,
+            "rng": generator_to_array(self._rng),
+        }
+        meta = {
+            "kind": self.SNAPSHOT_KIND,
+            "n": self.n,
+            "p": self.p,
+            "seed": self._seed,
+            "clock_periods": self.clock_periods,
+            "polls": [asdict(record) for record in self.polls],
+        }
+        return save_snapshot(path, arrays, meta)
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "MajorityService":
+        arrays, meta = load_snapshot(path)
+        if meta.get("kind") != cls.SNAPSHOT_KIND:
+            raise SnapshotError(
+                f"{path}: snapshot kind {meta.get('kind')!r}, "
+                f"expected {cls.SNAPSHOT_KIND!r}"
+            )
+        service = cls(
+            int(meta["n"]),
+            arrays["versions"],
+            p=float(meta["p"]),
+            seed=int(meta["seed"]),
+        )
+        service.clock_periods = int(meta["clock_periods"])
+        service.polls = [
+            PollRecord(
+                started_period=record["started_period"],
+                winner=record["winner"],
+                matched_majority=record["matched_majority"],
+                convergence_periods=record["convergence_periods"],
+                pre_poll_split=tuple(record["pre_poll_split"]),
+            )
+            for record in meta["polls"]
+        ]
+        service._rng = generator_from_array(arrays["rng"])
+        return service
 
     # ------------------------------------------------------------------
     # Reporting

@@ -1,11 +1,38 @@
-"""Shared fixtures: canonical systems, parameters and quick engines."""
+"""Shared fixtures: canonical systems, parameters and quick engines.
+
+Also wires two suite-wide policies:
+
+* a ``slow`` marker for tests that simulate >~1s of protocol periods
+  (they still run by default; ``-m 'not slow'`` gives a fast loop);
+* hypothesis profiles -- ``dev`` (default, no deadline: CI boxes make
+  wall-clock deadlines flaky) and ``ci`` (derandomized, so the
+  property suites are reproducible run to run).  Select with
+  ``HYPOTHESIS_PROFILE=ci``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.odes import library
 from repro.protocols.endemic import EndemicParams
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: simulates many protocol periods (>~1s); "
+        "deselect with -m 'not slow'",
+    )
 
 
 @pytest.fixture

@@ -1,9 +1,18 @@
-"""Tests for synthetic churn traces (repro.runtime.churn)."""
+"""Tests for synthetic churn traces (repro.runtime.churn).
+
+Stochastic assertions follow the tolerance policy in
+``tests/statutil.py``: hosts are independent in the generator, so the
+per-host availability / arrival-rate arrays are i.i.d. samples and the
+mean tests are plain z-tests against analytically known expectations.
+"""
+
+import math
 
 import numpy as np
 import pytest
+import statutil
 
-from repro.protocols.endemic import EndemicParams, figure1_protocol
+from repro.protocols.endemic import figure1_protocol
 from repro.runtime import ChurnReplayer, RoundEngine, generate_trace
 from repro.synthesis import FlipAction, ProtocolSpec
 
@@ -25,6 +34,7 @@ class TestTraceGeneration:
             assert event.online != state[event.host], "events must alternate"
             state[event.host] = event.online
 
+    @pytest.mark.slow
     def test_churn_rate_in_paper_band(self):
         # Defaults calibrated to the Overnet statistics the paper cites:
         # hourly churn within roughly 10-25% of the population.
@@ -32,15 +42,26 @@ class TestTraceGeneration:
         rates = trace.hourly_churn_rates()
         assert 0.10 <= float(np.mean(rates)) <= 0.27
 
+    @pytest.mark.slow
     def test_rejoin_rate_near_cited_value(self):
-        # ~6.4 rejoins/day cited from the Overnet measurements; the
-        # default session length targets the same order.
+        # ~6.4 rejoins/day cited from the Overnet measurements.  With
+        # symmetric 2h up / 2h down sessions the stationary arrival
+        # rate is exactly 24 / (2 + 2) * (stationary-offline-rate
+        # weighted) = 6 per host-day; per-host counts are i.i.d., so
+        # z-test the ensemble mean instead of a hand-tuned rel window.
         trace = generate_trace(2000, duration_hours=72, seed=3)
-        assert trace.rejoins_per_day() == pytest.approx(6.0, rel=0.15)
+        statutil.assert_mean_close(
+            trace.per_host_arrivals_per_day(), 6.0, context="arrivals/day"
+        )
 
     def test_mean_availability_half(self):
+        # Symmetric up/down sessions and a 50% initial online fraction
+        # make each host's expected time-averaged availability exactly
+        # one half, at every horizon.
         trace = generate_trace(1000, duration_hours=48, seed=4)
-        assert trace.mean_availability() == pytest.approx(0.5, abs=0.06)
+        statutil.assert_mean_close(
+            trace.per_host_availability(), 0.5, context="availability"
+        )
 
     def test_longer_sessions_less_churn(self):
         fast = generate_trace(500, 48, mean_session_hours=1.0, seed=5)
@@ -50,10 +71,23 @@ class TestTraceGeneration:
         )
 
     def test_asymmetric_offline(self):
+        # 1h up / 3h down: the two-state Markov chain has stationary
+        # availability pi = 1/4 and relaxation time tau = (1/up +
+        # 1/down)^-1 = 0.75h.  Starting from a 50% online fraction, the
+        # expected time-averaged availability over [0, T] is
+        #   pi + (p0 - pi) * (tau / T) * (1 - exp(-T / tau)),
+        # i.e. the stationary value plus the decaying transient.
+        p0, pi, tau, horizon = 0.5, 0.25, 0.75, 48.0
+        expected = pi + (p0 - pi) * (tau / horizon) * (
+            1.0 - math.exp(-horizon / tau)
+        )
         trace = generate_trace(
             500, 48, mean_session_hours=1.0, mean_offline_hours=3.0, seed=6
         )
-        assert trace.mean_availability() < 0.4
+        statutil.assert_mean_close(
+            trace.per_host_availability(), expected,
+            context="asymmetric availability",
+        )
 
     def test_invalid_session_length(self):
         with pytest.raises(ValueError):
@@ -73,8 +107,10 @@ class TestReplay:
         engine = self.make_engine()
         replayer = ChurnReplayer(trace, periods_per_hour=10)
         engine.run(periods=1, hooks=[replayer])
-        expected_online = int(trace.initially_online.sum())
-        assert engine.alive_count() == pytest.approx(expected_online, abs=5)
+        # The hook fires before period 0, when no trace event is due
+        # yet (event times are strictly positive), so the alive count
+        # is exactly the initially-online census -- no tolerance.
+        assert engine.alive_count() == int(trace.initially_online.sum())
 
     def test_population_tracks_trace(self):
         trace = generate_trace(200, duration_hours=12, seed=9)
@@ -100,6 +136,7 @@ class TestReplay:
         engine_b.run(periods=50, hooks=[replayer])
         assert engine_b.alive_count() == count_a
 
+    @pytest.mark.slow
     def test_endemic_survives_churn(self, fig8_params):
         # Miniature Figure 9: stash population stays positive and near
         # equilibrium under trace-driven churn.

@@ -12,11 +12,17 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.odes import classify, is_complete, make_complete, normalize, denormalize
+from repro.odes import is_complete, make_complete, normalize, denormalize
+from repro.odes.parser import parse_system
 from repro.odes.partition import partition_terms, reconstruct_system
-from repro.odes.system import EquationSystem, build_system
+from repro.odes.system import EquationSystem
 from repro.odes.term import Term, combine_like_terms
-from repro.runtime import RoundEngine
+from repro.runtime import (
+    BatchRoundEngine,
+    MetricsRecorder,
+    RoundEngine,
+    spawn_seeds,
+)
 from repro.synthesis import synthesize
 
 VARIABLES = ("x", "y", "z", "w")
@@ -71,6 +77,45 @@ def pair_systems(draw, restricted=True):
         equations[source].append(Term(-coefficient, monomial))
         equations[target].append(Term(coefficient, monomial))
     return EquationSystem(variables, equations, name="random-pairs")
+
+
+def render_system(system: EquationSystem) -> str:
+    """Render a system the way a scientist would write it.
+
+    Coefficients use ``repr`` (shortest exact round-trip form), powers
+    use ``^``, and negative terms render as ``- |c|*...`` -- the same
+    surface syntax ``parse_system`` documents, so parsing the rendered
+    text must reproduce the system exactly, not approximately.
+    """
+    lines = []
+    for variable in system.variables:
+        terms = system.equations[variable]
+        if not terms:
+            lines.append(f"{variable}' = 0")
+            continue
+        parts = []
+        for index, term in enumerate(terms):
+            monomial = "*".join(
+                v if k == 1 else f"{v}^{k}"
+                for v, k in sorted(dict(term.exponents).items())
+            )
+            magnitude = repr(abs(term.coefficient))
+            body = f"{magnitude}*{monomial}" if monomial else magnitude
+            if index == 0:
+                parts.append(body if term.coefficient >= 0 else f"-{body}")
+            else:
+                sign = "+" if term.coefficient >= 0 else "-"
+                parts.append(f"{sign} {body}")
+        lines.append(f"{variable}' = " + " ".join(parts))
+    return "\n".join(lines)
+
+
+def count_trajectory(spec, n, initial, periods, seed):
+    """Run one serial engine; return the (periods+1, states) tensor."""
+    engine = RoundEngine(spec, n=n, initial=initial, seed=seed)
+    recorder = MetricsRecorder(spec.states)
+    engine.run(periods, recorder=recorder)
+    return np.stack([recorder.counts(s) for s in spec.states], axis=1)
 
 
 class TestTermAlgebra:
@@ -147,6 +192,76 @@ class TestSynthesisTheorems:
         assert spec.mean_field_system(effective=True).equivalent_to(
             expected, rtol=1e-6
         )
+
+
+class TestParserRoundTrip:
+    """The full front door: text -> system -> spec -> engine.
+
+    Everything a user types reaches the runtime through this chain, so
+    the round trip is checked at all three layers: exact algebraic
+    equivalence after parsing, mean-field reconstruction after
+    synthesis, and bit-identical simulation from the parsed spec.
+    """
+
+    @given(system=pair_systems(restricted=False))
+    def test_render_parse_exact(self, system):
+        parsed = parse_system(
+            render_system(system), variables=list(system.variables)
+        )
+        # repr() coefficients round-trip exactly through float(), so
+        # this tolerance is slack for bookkeeping, not for parsing.
+        assert parsed.equivalent_to(system, rtol=1e-12)
+
+    @given(system=pair_systems(restricted=True))
+    def test_parsed_synthesis_mean_field(self, system):
+        parsed = parse_system(
+            render_system(system), variables=list(system.variables)
+        )
+        spec = synthesize(parsed)
+        expected = system.simplified().scaled(spec.normalizer)
+        assert spec.mean_field_system().equivalent_to(expected, rtol=1e-6)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        system=pair_systems(restricted=True),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_parsed_spec_drives_identical_engine(self, system, seed):
+        spec_direct = synthesize(system)
+        spec_parsed = synthesize(parse_system(
+            render_system(system), variables=list(system.variables)
+        ))
+        assert spec_parsed.states == spec_direct.states
+        n = 60
+        initial = {system.variables[0]: n}
+        direct = count_trajectory(spec_direct, n, initial, 6, seed)
+        parsed = count_trajectory(spec_parsed, n, initial, 6, seed)
+        assert np.array_equal(direct, parsed)
+
+
+class TestSerialBatchLockstep:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        system=pair_systems(restricted=True),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_lockstep_matches_serial_bitwise(self, system, seed):
+        # Lockstep batch mode promises M serial runs bit for bit, for
+        # *every* synthesizable protocol -- not just the three families
+        # test_batch_engine enumerates by hand.
+        spec = synthesize(system)
+        n, trials, periods = 60, 3, 6
+        initial = {system.variables[0]: n}
+        batch = BatchRoundEngine(
+            spec, n=n, trials=trials, initial=initial, seed=seed,
+            mode="lockstep",
+        )
+        tensor = batch.run(periods).recorder.count_tensor()
+        for m, trial_seed in enumerate(spawn_seeds(seed, trials)):
+            expected = count_trajectory(spec, n, initial, periods, trial_seed)
+            assert np.array_equal(tensor[m], expected)
 
 
 class TestEngineInvariants:

@@ -25,6 +25,7 @@ REQUIRED_DOCS = (
     "docs/architecture.md",
     "docs/campaigns.md",
     "docs/experiment.md",
+    "docs/service.md",
     "benchmarks/results/README.md",
 )
 
