@@ -56,7 +56,7 @@ from .campaign import (
 from .experiment import ENGINES, Experiment, Protocol, parse_param_directives
 from .runtime.exec import ON_ERROR_MODES, FaultPolicy
 from .odes import ParseError, auto_rewrite, classify, find_equilibria, integrate, parse_system
-from .runtime import MetricsRecorder, RoundEngine
+from .runtime import MetricsRecorder, RoundEngine, spawn_seeds
 from .synthesis import SynthesisError, synthesize
 from .viz import format_table, render_series
 
@@ -302,6 +302,54 @@ def cmd_run(args) -> int:
     return 1 if (check.status == "FAIL" and not scenario_active) else 0
 
 
+def _print_message_check(point_json, counts, periods, states, measured):
+    """Predicted-vs-measured message line for one campaign point.
+
+    Uses the static complexity model (:mod:`repro.check.complexity`)
+    when the producing protocol is resolvable in this process; custom
+    runtime-registered builders that are absent here are skipped
+    quietly.
+    """
+    import numpy as np
+
+    if point_json is None:
+        return
+    try:
+        point = json.loads(point_json)
+        protocol, n = point.get("protocol"), point.get("n")
+        if not protocol or not n:
+            return
+        from .campaign.registry import resolve_protocol
+        from .check import message_model
+
+        spec = resolve_protocol(str(protocol)).resolve(int(n)).spec
+        model = message_model(spec)
+        mean, bound = model.predict_total(counts, periods, states=states)
+    except Exception:
+        return
+    predicted = float(np.sum(mean))
+    approx = " (approx: recording stride > 1)" if np.any(
+        np.diff(np.asarray(periods)) > 1
+    ) else ""
+    if measured is None:
+        print(f"messages: predicted {predicted:,.0f} total"
+              f"{approx}; measured n/a (tensor predates "
+              f"total_messages recording)")
+        return
+    total = float(np.sum(np.asarray(measured)))
+    variance = float(np.sum(bound))
+    if variance > 0:
+        z = (total - predicted) / variance ** 0.5
+        calibration = f"z = {z:+.2f}"
+    else:
+        calibration = (
+            "exact" if total == predicted else "MISMATCH (deterministic "
+            "charging predicted a different total)"
+        )
+    print(f"messages: predicted {predicted:,.0f} vs measured "
+          f"{total:,.0f} over all trials ({calibration}){approx}")
+
+
 def cmd_analyze_campaign(args) -> int:
     """Offline summary tables from a campaign's saved tensors.
 
@@ -357,6 +405,14 @@ def cmd_analyze_campaign(args) -> int:
             counts = data["counts"]          # (M, periods, S)
             states = [str(state) for state in data["states"]]
             periods = data["periods"]
+            measured_messages = (
+                data["total_messages"]
+                if "total_messages" in data.files else None
+            )
+            point_json = (
+                str(data["point_json"])
+                if "point_json" in data.files else None
+            )
         trials = counts.shape[0]
         print(f"{label}: {trials} trials x {counts.shape[1]} recorded "
               f"periods (last period {int(periods[-1])}), "
@@ -379,6 +435,9 @@ def cmd_analyze_campaign(args) -> int:
              "max"],
             rows,
         ))
+        _print_message_check(
+            point_json, counts, periods, states, measured_messages,
+        )
     referenced = {entry.get("tensor") for entry in points
                   if entry.get("tensor")}
     orphans = sorted(path.name for path in directory.glob("*.npz")
@@ -689,10 +748,7 @@ def cmd_serve(args) -> int:
     # An unseeded service still gets a concrete recorded seed -- the
     # event log must reconstruct the exact engine (same rule as
     # Experiment's root seed).
-    seed = (
-        args.seed if args.seed is not None
-        else int(np.random.SeedSequence().generate_state(1)[0])
-    )
+    seed = args.seed if args.seed is not None else spawn_seeds(None, 1)[0]
     try:
         config = LiveConfig(
             protocol=args.protocol, n=args.n, seed=seed,
@@ -799,6 +855,124 @@ def cmd_replay(args) -> int:
         period = report.core.live.period if report.core else "?"
         print(f"final counts at period {period}: {counts}")
         print("replay verified: state stream is bit-identical to the log")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Static analysis (repro.check)
+# ----------------------------------------------------------------------
+def _resolve_check_target(target: str, n: int):
+    """A ``(spec, label)`` pair for a registry name or equations file.
+
+    Registry names resolve through the campaign registry; anything
+    else is treated as an equations file path.
+    """
+    from .campaign.registry import resolve_protocol
+
+    if target in available_protocols():
+        return resolve_protocol(target).resolve(n).spec, target
+    return None, target
+
+
+def cmd_check_spec(args) -> int:
+    """Statically verify protocol specs (registry names or equations)."""
+    from .check import (
+        check_equations,
+        check_spec,
+        has_errors,
+        render_findings,
+    )
+
+    targets = list(args.targets)
+    if args.registry:
+        targets = list(available_protocols()) + targets
+    if not targets:
+        print("nothing to check: pass equations files / protocol names "
+              "or --registry", file=sys.stderr)
+        return 2
+    parameters = _parse_bindings(args.param, "param") or None
+    failed = 0
+    for target in targets:
+        spec, label = _resolve_check_target(target, args.n)
+        if spec is not None:
+            findings = check_spec(spec, symbolic=True)
+        else:
+            spec, findings = check_equations(
+                target,
+                parameters=parameters,
+                p=args.p,
+                failure_rate=args.failure_rate,
+                rewrite=not args.no_rewrite,
+            )
+        shown = findings if args.verbose else [
+            f for f in findings if int(f.severity) > 0
+        ]
+        if shown or args.verbose:
+            print(render_findings(shown, label=label))
+        else:
+            print(f"{label}: ok")
+        if has_errors(findings):
+            failed += 1
+    if failed:
+        print(f"{failed} of {len(targets)} target(s) failed "
+              f"verification", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def cmd_check_lint(args) -> int:
+    """Run the determinism linter over source paths."""
+    from .check import DEFAULT_ALLOWLIST, has_errors, render_findings
+    from .check.lint import lint_paths
+
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    for path in paths:
+        if not path.exists():
+            print(f"no such path: {path}", file=sys.stderr)
+            return 2
+    allowlist = (
+        Path(args.allowlist) if args.allowlist is not None
+        else DEFAULT_ALLOWLIST
+    )
+    findings = lint_paths(paths, allowlist_path=allowlist)
+    if findings:
+        print(render_findings(findings, label="lint"))
+    else:
+        print("lint: clean")
+    return 1 if has_errors(findings) else 0
+
+
+def cmd_check_complexity(args) -> int:
+    """Print the symbolic message-complexity model for a protocol."""
+    from .check import message_model, symbolic_message_model
+
+    spec, label = _resolve_check_target(args.target, args.n)
+    if spec is None:
+        try:
+            protocol = Protocol.from_equations(
+                args.target,
+                parameters=_parse_bindings(args.param, "param") or None,
+                p=args.p,
+                failure_rate=args.failure_rate,
+            )
+        except (OSError, ParseError, SynthesisError, ValueError) as exc:
+            print(f"cannot build {args.target!r}: {exc}", file=sys.stderr)
+            return 1
+        spec = protocol.resolve(args.n).spec
+    model = message_model(spec)
+    print(f"{label}: per-period message cost (N = {args.n})")
+    try:
+        print(symbolic_message_model(spec).render())
+    except ImportError:
+        print("(sympy unavailable: numeric model only)")
+    print(format_table(
+        ["state", "messages/process/period"],
+        [(s, f"{c:g}") for s, c in model.per_state_cost().items()],
+    ))
+    fractions = _parse_bindings(args.fraction, "fraction")
+    if fractions:
+        expected = model.expected_messages(fractions, args.n)
+        at = ", ".join(f"{k}={v:g}" for k, v in fractions.items())
+        print(f"expected messages/period at ({at}): {expected:.1f}")
     return 0
 
 
@@ -1076,6 +1250,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory written by 'campaign --save-tensors'",
     )
     p_analyze_campaign.set_defaults(func=cmd_analyze_campaign)
+
+    p_check = sub.add_parser(
+        "check",
+        help="static analysis: spec verifier, determinism linter, "
+             "symbolic complexity model (no engine runs)",
+    )
+    check_sub = p_check.add_subparsers(dest="check_command", required=True)
+
+    p_check_spec = check_sub.add_parser(
+        "spec",
+        help="verify specs: probability mass, conservation, "
+             "reachability, mean-field consistency (exit 1 on errors)",
+    )
+    p_check_spec.add_argument(
+        "targets", nargs="*",
+        help="equations files and/or registry protocol names",
+    )
+    p_check_spec.add_argument(
+        "--registry", action="store_true",
+        help="also verify every registered protocol",
+    )
+    p_check_spec.add_argument("--n", type=int, default=1000,
+                              help="group size used to resolve registry "
+                                   "protocols (default 1000)")
+    p_check_spec.add_argument("--param", action="append", default=[],
+                              metavar="NAME=VALUE",
+                              help="rate binding override (repeatable)")
+    p_check_spec.add_argument("--p", type=float, default=None,
+                              help="pin the normalizer instead of "
+                                   "choosing it automatically")
+    p_check_spec.add_argument("--failure-rate", type=float, default=0.0,
+                              help="compensated connection failure rate")
+    p_check_spec.add_argument("--no-rewrite", action="store_true",
+                              help="fail instead of auto-rewriting "
+                                   "unmappable systems")
+    p_check_spec.add_argument("--verbose", action="store_true",
+                              help="also print INFO findings")
+    p_check_spec.set_defaults(func=cmd_check_spec)
+
+    p_check_lint = check_sub.add_parser(
+        "lint",
+        help="determinism linter over source paths "
+             "(default src/repro; exit 1 on errors)",
+    )
+    p_check_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    p_check_lint.add_argument("--allowlist", default=None,
+                              help="allowlist file (default: "
+                                   "tools/lint_allowlist.txt)")
+    p_check_lint.set_defaults(func=cmd_check_lint)
+
+    p_check_cx = check_sub.add_parser(
+        "complexity",
+        help="derive the per-period message-cost model from a spec",
+    )
+    p_check_cx.add_argument(
+        "target",
+        help="registry protocol name or equations file",
+    )
+    p_check_cx.add_argument("--n", type=int, default=1000,
+                            help="group size (default 1000)")
+    p_check_cx.add_argument("--param", action="append", default=[],
+                            metavar="NAME=VALUE",
+                            help="rate binding override (repeatable)")
+    p_check_cx.add_argument("--p", type=float, default=None,
+                            help="pin the normalizer")
+    p_check_cx.add_argument("--failure-rate", type=float, default=0.0,
+                            help="compensated connection failure rate")
+    p_check_cx.add_argument("--fraction", action="append", default=[],
+                            metavar="STATE=FRACTION",
+                            help="evaluate expected messages/period at "
+                                 "this state distribution (repeatable)")
+    p_check_cx.set_defaults(func=cmd_check_complexity)
     return parser
 
 

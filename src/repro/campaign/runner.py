@@ -201,6 +201,7 @@ class _ShardOutput:
     recorded_periods: List[int]
     elapsed_seconds: float
     tensor: Optional[np.ndarray]   # (M_shard, periods, S) when requested
+    total_messages: np.ndarray     # (M_shard,) int64 per-trial totals
 
 
 def _run_shard(
@@ -233,6 +234,7 @@ def _run_shard(
         recorded_periods=[int(t) for t in recorder.times],
         elapsed_seconds=time.perf_counter() - started,
         tensor=tensor if want_tensor else None,
+        total_messages=np.asarray(engine.total_messages, dtype=np.int64),
     )
 
 
@@ -308,12 +310,15 @@ def _save_tensor(
     index: int,
     result: PointResult,
     tensor: np.ndarray,
+    total_messages: np.ndarray,
 ) -> str:
     """Persist one point's full count tensor as a compressed ``.npz``.
 
     Layout: ``counts`` is the ``(M, periods, S)`` tensor in
     ``trial_seeds`` order, ``periods``/``states``/``trial_seeds`` label
-    its axes, and ``point_json`` carries the producing point for
+    its axes, ``total_messages`` holds the engine's per-trial message
+    totals (same trial order; the static complexity model cross-checks
+    against it), and ``point_json`` carries the producing point for
     provenance (``json.loads(str(...))`` round-trips it).
 
     Written atomically (tmp + rename): a crash mid-write can never
@@ -328,6 +333,7 @@ def _save_tensor(
             periods=np.asarray(result.recorded_periods, dtype=np.int64),
             states=np.asarray(result.states),
             trial_seeds=np.asarray(result.trial_seeds, dtype=np.uint64),
+            total_messages=np.asarray(total_messages, dtype=np.int64),
             point_json=np.asarray(json.dumps(result.point.to_dict())),
         )
     os.replace(tmp, directory / name)
@@ -621,8 +627,12 @@ def run_campaign(
             tensor = np.concatenate(
                 [o.tensor for o in shard_outputs], axis=0
             )
+            messages = np.concatenate(
+                [o.total_messages for o in shard_outputs]
+            )
             result.tensor_path = _save_tensor(
-                tensors_dir, spec.name, point_index, result, tensor
+                tensors_dir, spec.name, point_index, result, tensor,
+                messages,
             )
         results[point_index] = result
         entries[point_index] = _done_entry(point_index, result)

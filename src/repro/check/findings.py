@@ -1,0 +1,98 @@
+"""Structured findings: the common currency of every static check.
+
+The spec verifier, the determinism linter and the complexity
+cross-checks all report through one record type so that callers (the
+``python -m repro check`` CLI, the embedded warn-on-construction hook,
+CI jobs, tests) can sort, filter and gate on severity uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+class Severity(enum.IntEnum):
+    """Ordered severities; ``ERROR`` findings gate (exit 1 / raise)."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis result.
+
+    Attributes
+    ----------
+    severity:
+        :class:`Severity` of the finding.  Only ``ERROR`` findings fail
+        a check run; ``WARNING`` marks suspicious-but-runnable
+        constructs, ``INFO`` is advisory.
+    rule:
+        Stable machine-readable rule id (kebab-case), e.g. ``"mass"``,
+        ``"unseeded-rng"``.  Tests and allowlists key on it.
+    location:
+        Where: ``"state y"`` / ``"action 3"`` for spec checks,
+        ``"path:line"`` for lint findings.
+    message:
+        Human-readable explanation, including the offending values.
+    """
+
+    severity: Severity
+    rule: str
+    location: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.severity.name:<7} [{self.rule}] {self.location}: {self.message}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()
+
+
+def error_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """The subset of findings that gate (``ERROR`` severity)."""
+    return [f for f in findings if f.severity >= Severity.ERROR]
+
+
+def has_errors(findings: Iterable[Finding]) -> bool:
+    return bool(error_findings(findings))
+
+
+def render_findings(findings: Sequence[Finding], label: str = "") -> str:
+    """A printable report: findings sorted most severe first."""
+    ordered = sorted(findings, key=lambda f: (-int(f.severity), f.rule, f.location))
+    lines = [f.render() for f in ordered]
+    counts = {s: 0 for s in Severity}
+    for finding in findings:
+        counts[finding.severity] += 1
+    summary = ", ".join(
+        f"{counts[s]} {s.name.lower()}{'s' if counts[s] != 1 else ''}"
+        for s in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        if counts[s]
+    ) or "no findings"
+    prefix = f"{label}: " if label else ""
+    lines.append(f"{prefix}{summary}")
+    return "\n".join(lines)
+
+
+class SpecCheckError(ValueError):
+    """Raised in strict mode when a spec check produces ERROR findings."""
+
+    def __init__(self, findings: Sequence[Finding], label: str = "spec"):
+        self.findings = list(findings)
+        errors = error_findings(findings)
+        super().__init__(
+            f"{label} failed static verification with {len(errors)} "
+            f"error(s):\n" + "\n".join(f.render() for f in errors)
+        )
+
+
+class ProtocolCheckWarning(UserWarning):
+    """Emitted in warn mode (the default) for ERROR-severity findings."""

@@ -1,0 +1,424 @@
+"""Determinism linter: AST enforcement of the reproducibility contract.
+
+The repo promises bitwise reproducibility (exec checkpoints, service
+replay, store snapshots).  That contract survives only if every
+source of nondeterminism is threaded through an explicit seed and
+every timestamp through provenance plumbing.  This linter walks the
+AST of ``src/repro`` and flags the constructs that break it:
+
+``unseeded-rng`` (ERROR)
+    Calls into global or OS-entropy randomness: the legacy
+    ``numpy.random`` module functions (``np.random.rand``,
+    ``np.random.seed``, ...), the stdlib ``random`` module, or RNG
+    constructors invoked with no seed (``default_rng()``,
+    ``SeedSequence()``).
+
+``rng-construction`` (ERROR)
+    Seeded RNG construction *outside* ``repro.runtime.rng``: call
+    ``make_generator`` / ``spawn_seeds`` instead so every stream
+    belongs to a named seed domain and the MT19937 choice stays in one
+    place.
+
+``wall-clock`` (ERROR)
+    ``time.time`` / ``time.time_ns`` / ``datetime.now`` / ``utcnow`` /
+    ``today`` outside sanctioned clock or provenance modules.
+    (``time.perf_counter`` is fine: durations are measurement, not
+    behavior.)
+
+``set-iteration`` (ERROR in ``runtime``/``store``, WARNING elsewhere)
+    Iterating directly over a bare ``set`` / ``frozenset``: Python
+    set ordering is hash-seed dependent across builds, so iteration
+    order leaks into trajectories.  Sort first.
+
+Legitimate sites (entropy *sources*, RNG state (de)serialization,
+provenance stamps) live in an allowlist file -- one entry per line::
+
+    path::rule::qualname  # one-line justification
+
+where ``path`` is repo-root-relative posix, ``qualname`` the dotted
+function/class scope containing the call (``<module>`` at top level,
+``*`` wildcard), and the trailing comment is the mandatory
+justification.  Entries that no longer match anything are themselves
+reported (``stale-allowlist``, INFO) so the list cannot rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, Severity
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Default allowlist location (repo-root-relative).
+DEFAULT_ALLOWLIST = _REPO_ROOT / "tools" / "lint_allowlist.txt"
+
+#: Modules whose whole purpose is RNG construction; rng rules skipped.
+SANCTIONED_RNG_MODULES = ("src/repro/runtime/rng.py",)
+
+#: Paths where set iteration is ERROR (replay-critical hot paths).
+HOT_PATH_PREFIXES = ("src/repro/runtime/", "src/repro/store/")
+
+#: numpy.random attributes that construct generators / entropy state.
+RNG_CONSTRUCTORS = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64",
+    "BitGenerator",
+})
+
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+@dataclass(frozen=True)
+class AllowlistEntry:
+    path: str
+    rule: str
+    qualname: str
+    justification: str
+    line: int
+
+    def matches(self, path: str, rule: str, qualname: str) -> bool:
+        return (
+            self.path == path
+            and self.rule == rule
+            and (self.qualname == "*" or self.qualname == qualname)
+        )
+
+
+def load_allowlist(path: Path) -> List[AllowlistEntry]:
+    entries: List[AllowlistEntry] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, comment = line.partition("#")
+        parts = [p.strip() for p in body.strip().split("::")]
+        if len(parts) != 3 or not all(parts):
+            raise ValueError(
+                f"{path}:{lineno}: malformed allowlist entry {line!r}; "
+                f"expected 'path::rule::qualname  # justification'"
+            )
+        entries.append(AllowlistEntry(
+            path=parts[0], rule=parts[1], qualname=parts[2],
+            justification=comment.strip(), line=lineno,
+        ))
+    return entries
+
+
+@dataclass(frozen=True)
+class _Site:
+    """One raw lint hit, carrying the scope key for allowlist matching."""
+
+    finding: Finding
+    path: str
+    qualname: str
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, rel_path: str, source_lines: Sequence[str]):
+        self.rel_path = rel_path
+        self.lines = source_lines
+        self.sites: List[_Site] = []
+        self.scope: List[str] = []
+        # alias sets / maps, populated by import statements
+        self.numpy_aliases: Set[str] = set()
+        self.numpy_random_aliases: Set[str] = set()
+        self.stdlib_random_aliases: Set[str] = set()
+        self.time_aliases: Set[str] = set()
+        self.datetime_module_aliases: Set[str] = set()
+        self.from_imports: Dict[str, str] = {}
+        self._suppressed: Set[int] = set()
+        self.rng_sanctioned = rel_path in SANCTIONED_RNG_MODULES
+        self.hot_path = rel_path.startswith(HOT_PATH_PREFIXES)
+
+    # -- scope tracking -------------------------------------------------
+    def _in_scope(self, name: str, node: ast.AST) -> None:
+        self.scope.append(name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._in_scope(node.name, node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._in_scope(node.name, node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._in_scope(node.name, node)
+
+    @property
+    def qualname(self) -> str:
+        return ".".join(self.scope) if self.scope else "<module>"
+
+    # -- imports --------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy":
+                self.numpy_aliases.add(local)
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self.numpy_random_aliases.add(alias.asname)
+                else:
+                    self.numpy_aliases.add("numpy")
+            elif alias.name == "random":
+                self.stdlib_random_aliases.add(local)
+            elif alias.name == "time":
+                self.time_aliases.add(local)
+            elif alias.name == "datetime":
+                self.datetime_module_aliases.add(local)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if module == "numpy" and alias.name == "random":
+                self.numpy_random_aliases.add(local)
+            elif module == "numpy.random":
+                self.from_imports[local] = f"numpy.random.{alias.name}"
+            elif module == "random":
+                self.from_imports[local] = f"random.{alias.name}"
+            elif module == "time":
+                self.from_imports[local] = f"time.{alias.name}"
+            elif module == "datetime":
+                self.from_imports[local] = f"datetime.{alias.name}"
+
+    # -- name normalization --------------------------------------------
+    def _dotted(self, node: ast.AST) -> Optional[str]:
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        root = parts[0]
+        if root in self.numpy_aliases:
+            parts[0] = "numpy"
+        elif root in self.numpy_random_aliases:
+            parts[0:1] = ["numpy", "random"]
+        elif root in self.stdlib_random_aliases:
+            parts[0] = "random"
+        elif root in self.time_aliases:
+            parts[0] = "time"
+        elif root in self.datetime_module_aliases:
+            parts[0] = "datetime"
+        elif root in self.from_imports:
+            parts[0:1] = self.from_imports[root].split(".")
+        else:
+            return None
+        return ".".join(parts)
+
+    # -- findings -------------------------------------------------------
+    def _add(self, node: ast.AST, severity: Severity, rule: str,
+             message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        self.sites.append(_Site(
+            finding=Finding(
+                severity, rule, f"{self.rel_path}:{lineno}", message,
+            ),
+            path=self.rel_path,
+            qualname=self.qualname,
+        ))
+
+    def _snippet(self, node: ast.AST) -> str:
+        lineno = getattr(node, "lineno", 0)
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    # -- rules ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if id(node) not in self._suppressed:
+            self._check_call(node)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call) -> None:
+        dotted = self._dotted(node.func)
+        if dotted is None:
+            return
+        if dotted.startswith("numpy.random."):
+            if not self.rng_sanctioned:
+                self._flag_numpy_random(node, dotted)
+            return
+        if dotted.startswith("random."):
+            self._add(
+                node, Severity.ERROR, "unseeded-rng",
+                f"stdlib random ({dotted}) draws from global, "
+                f"non-replayable state: `{self._snippet(node)}`",
+            )
+            return
+        if dotted in WALL_CLOCK_CALLS:
+            self._add(
+                node, Severity.ERROR, "wall-clock",
+                f"{dotted}() reads the wall clock; behavior must not "
+                f"depend on when a run happens: `{self._snippet(node)}`",
+            )
+
+    def _flag_numpy_random(self, node: ast.Call, dotted: str) -> None:
+        tail = dotted[len("numpy.random."):]
+        if tail in RNG_CONSTRUCTORS:
+            # one finding per outermost constructor expression
+            for child in ast.walk(node):
+                if child is not node and isinstance(child, ast.Call):
+                    inner = self._dotted(child.func)
+                    if inner and inner.startswith("numpy.random."):
+                        self._suppressed.add(id(child))
+            if self._is_unseeded(node):
+                self._add(
+                    node, Severity.ERROR, "unseeded-rng",
+                    f"{tail}() without a seed pulls OS entropy; thread "
+                    f"a seed through repro.runtime.rng instead: "
+                    f"`{self._snippet(node)}`",
+                )
+            else:
+                self._add(
+                    node, Severity.ERROR, "rng-construction",
+                    f"direct {tail}(...) construction; use "
+                    f"repro.runtime.rng.make_generator / spawn_seeds so "
+                    f"the stream belongs to a seed domain: "
+                    f"`{self._snippet(node)}`",
+                )
+        elif tail == "seed" or "." not in tail:
+            self._add(
+                node, Severity.ERROR, "unseeded-rng",
+                f"numpy.random.{tail}() uses the global legacy RNG "
+                f"state: `{self._snippet(node)}`",
+            )
+
+    @staticmethod
+    def _is_unseeded(node: ast.Call) -> bool:
+        if node.keywords:
+            return False
+        if not node.args:
+            return True
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehension(node)
+
+    def _check_comprehension(self, node: ast.AST) -> None:
+        for comp in node.generators:
+            self._check_iteration(comp.iter)
+        self.generic_visit(node)
+
+    def _check_iteration(self, iterable: ast.AST) -> None:
+        if not self._is_bare_set(iterable):
+            return
+        severity = Severity.ERROR if self.hot_path else Severity.WARNING
+        self._add(
+            iterable, severity, "set-iteration",
+            f"iteration over a bare set: ordering is hash-seed "
+            f"dependent and leaks into trajectories; sort first: "
+            f"`{self._snippet(iterable)}`",
+        )
+
+    @staticmethod
+    def _is_bare_set(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return _Linter._is_bare_set(node.left) or _Linter._is_bare_set(
+                node.right
+            )
+        return False
+
+
+def _relative(path: Path) -> str:
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(_REPO_ROOT).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(path: Path) -> List[_Site]:
+    """Raw (pre-allowlist) lint hits for one source file."""
+    rel = _relative(path)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [_Site(
+            finding=Finding(
+                Severity.ERROR, "parse",
+                f"{rel}:{exc.lineno or 0}", f"syntax error: {exc.msg}",
+            ),
+            path=rel,
+            qualname="<module>",
+        )]
+    linter = _Linter(rel, source.splitlines())
+    linter.visit(tree)
+    return linter.sites
+
+
+def _python_files(paths: Iterable[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    allowlist_path: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint files/directories, apply the allowlist, report stale entries."""
+    entries = (
+        load_allowlist(allowlist_path)
+        if allowlist_path is not None and allowlist_path.is_file()
+        else []
+    )
+    used: Set[int] = set()
+    findings: List[Finding] = []
+    linted: Set[str] = set()
+    for file in _python_files(paths):
+        linted.add(_relative(file))
+        for site in lint_file(file):
+            matched = False
+            for i, entry in enumerate(entries):
+                if entry.matches(site.path, site.finding.rule, site.qualname):
+                    used.add(i)
+                    matched = True
+            if not matched:
+                findings.append(site.finding)
+    for i, entry in enumerate(entries):
+        if i not in used and entry.path in linted:
+            findings.append(Finding(
+                Severity.INFO, "stale-allowlist",
+                f"{allowlist_path}:{entry.line}",
+                f"allowlist entry matches nothing anymore "
+                f"({entry.path}::{entry.rule}::{entry.qualname}); "
+                f"remove it",
+            ))
+    return findings

@@ -133,6 +133,7 @@ class Experiment:
         on_error: str = "raise",
         retries: int = 2,
         unit_timeout: Optional[float] = None,
+        check: str = "warn",
     ):
         if isinstance(protocol, str):
             protocol = Protocol.named(protocol)
@@ -169,6 +170,14 @@ class Experiment:
         self.member_log_state = member_log_state
         self.initial = dict(initial) if initial is not None else None
         self.workers = workers
+        if check not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"check must be 'off', 'warn' or 'strict', got {check!r}"
+            )
+        #: Static spec verification mode applied at :meth:`run` time
+        #: (``repro.check``): warn on ERROR findings by default,
+        #: ``"strict"`` raises, ``"off"`` skips.
+        self.check = check
         # Constructing the policy up front validates on_error/retries/
         # unit_timeout with FaultPolicy's own error messages.
         self.fault_policy = FaultPolicy(
@@ -247,6 +256,7 @@ class Experiment:
     def run(self) -> ExperimentResult:
         """Execute the experiment on the selected engine tier."""
         resolved = self.protocol.resolve(self.n)
+        self.protocol.verify(self.n, mode=self.check)
         initial = self.initial if self.initial is not None else resolved.initial
         engine_name = self.chosen_engine
         started = time.perf_counter()

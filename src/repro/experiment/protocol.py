@@ -109,6 +109,7 @@ class Protocol:
         self._resolver = resolver
         self._system = system
         self._resolved: Dict[int, ResolvedProtocol] = {}
+        self._verified: Dict[int, list] = {}
         self._equilibrium: Optional[Dict[str, float]] = None
         self._equilibrium_known = False
 
@@ -130,6 +131,7 @@ class Protocol:
         rewrite: bool = True,
         initial: Optional[Mapping[str, float]] = None,
         name: Optional[str] = None,
+        check: str = "warn",
     ) -> "Protocol":
         """Parse + (auto-rewrite) + synthesize an equations text or file.
 
@@ -144,6 +146,11 @@ class Protocol:
         protocol starts at the system's stable equilibrium when one
         exists (the paper's experimental convention), else with the
         whole group in the first state and one process in the second.
+
+        ``check`` runs the :mod:`repro.check` spec verifier on the
+        synthesized result: ``"warn"`` (default) emits a
+        ``ProtocolCheckWarning`` on ERROR-severity findings,
+        ``"strict"`` raises ``SpecCheckError``, ``"off"`` skips it.
         """
         path: Optional[Path] = None
         if isinstance(source, Path):
@@ -165,6 +172,10 @@ class Protocol:
             system, p=p, failure_rate=failure_rate, tokenize=tokenize,
             name=label,
         )
+        if check != "off":
+            from ..check import verify_spec
+
+            verify_spec(spec, system, mode=check, label=label)
         explicit = dict(initial) if initial is not None else None
 
         def resolver(n: int) -> ResolvedProtocol:
@@ -226,6 +237,32 @@ class Protocol:
             got = self._resolver(n)
             self._resolved[n] = got
         return got
+
+    def verify(self, n: int, *, mode: str = "warn") -> list:
+        """Statically verify the resolved spec (``repro.check`` rules).
+
+        ``mode`` is ``"warn"`` (emit one ``ProtocolCheckWarning`` on
+        ERROR findings), ``"strict"`` (raise
+        :class:`repro.check.SpecCheckError`) or ``"off"``.  Findings
+        are cached per group size, so repeated experiments on one
+        handle check once.
+        """
+        if mode == "off":
+            return []
+        cached = self._verified.get(n)
+        if cached is None:
+            from ..check import verify_spec
+
+            cached = verify_spec(
+                self.resolve(n).spec, mode=mode, label=self.label,
+            )
+            self._verified[n] = cached
+        elif mode == "strict":
+            from ..check import SpecCheckError, error_findings
+
+            if error_findings(cached):
+                raise SpecCheckError(cached, label=self.label)
+        return cached
 
     def system(self, n: int = 2) -> Optional[EquationSystem]:
         """The mean-field ODE behind the protocol.

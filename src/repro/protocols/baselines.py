@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..runtime.metrics import MetricsRecorder
+from ..runtime.rng import make_generator
 
 #: State names shared by both baselines.
 OTHER, REPLICA = "other", "replica"
@@ -47,7 +48,7 @@ class _PlacementSim:
         self.states = np.zeros(n, dtype=np.int8)
         self.alive = np.ones(n, dtype=bool)
         self.period = 0
-        self._rng = np.random.Generator(np.random.MT19937(seed))
+        self._rng = make_generator(seed)
         self.last_transitions: Dict[Tuple[str, str], int] = {}
 
     # Duck-typed interface shared with RoundEngine ----------------------

@@ -810,7 +810,7 @@ class BatchRoundEngine:
         assert np.array_equal(
             self._alive_counts, self.alive.sum(axis=1)
         ), "alive counts out of sync"
-        for sid in self._pools.tracked - set(self._pools.slots):
+        for sid in sorted(self._pools.tracked - set(self._pools.slots)):
             # The lazy-allocation invariant: a tracked state without a
             # row has no alive members (gains always go through add()).
             mask = self._states_flat == sid

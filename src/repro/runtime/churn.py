@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .rng import make_generator
 from .round_engine import RoundEngine
 
 
@@ -145,7 +146,7 @@ def generate_trace(
     mean_offline = (
         mean_offline_hours if mean_offline_hours is not None else mean_session_hours
     )
-    rng = np.random.Generator(np.random.MT19937(seed))
+    rng = make_generator(seed)
     initially_online = rng.random(n_hosts) < initial_online_fraction
     events: List[ChurnEvent] = []
     for host in range(n_hosts):

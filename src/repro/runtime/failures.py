@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .rng import make_generator
 from .round_engine import RoundEngine
 
 
@@ -66,7 +67,7 @@ class CrashRecoveryNoise:
             raise ValueError(
                 f"recovery rate must lie in [0, 1], got {self.recovery_rate}"
             )
-        self._rng = np.random.Generator(np.random.MT19937(self.seed))
+        self._rng = make_generator(self.seed)
 
     def __call__(self, engine: RoundEngine) -> None:
         if self.crash_rate > 0.0:
@@ -161,7 +162,7 @@ class OpenGroupJoins:
         if not 0.0 < self.join_rate <= 1.0:
             raise ValueError(f"join rate must lie in (0, 1], got {self.join_rate}")
         self.reserve = np.asarray(self.reserve, dtype=np.int64)
-        self._rng = np.random.Generator(np.random.MT19937(self.seed))
+        self._rng = make_generator(self.seed)
 
     def __call__(self, engine: RoundEngine) -> None:
         remaining = len(self.reserve) - self._cursor
@@ -196,7 +197,7 @@ class ScheduledRecovery:
     def __call__(self, engine: RoundEngine) -> None:
         if self.fired or engine.period < self.at_period:
             return
-        rng = np.random.Generator(np.random.MT19937(self.seed))
+        rng = make_generator(self.seed)
         dead = np.nonzero(~engine.alive)[0]
         count = int(round(self.fraction * len(dead)))
         if count:

@@ -30,6 +30,7 @@ from ..protocols.endemic import (
     figure1_protocol,
 )
 from ..runtime.metrics import MetricsRecorder
+from ..runtime.rng import make_generator
 from ..runtime.round_engine import RoundEngine
 from .snapshots import (
     SnapshotError,
@@ -100,7 +101,7 @@ class MigratoryFileStore:
         self._seed = seed if seed is not None else 0
         self.period = 0
         self.files: Dict[str, StoredFile] = {}
-        self._fetch_rng = np.random.Generator(np.random.MT19937(self._seed ^ 0x5EED))
+        self._fetch_rng = make_generator(self._seed ^ 0x5EED)
         self._down_hosts: set = set()
 
     # ------------------------------------------------------------------

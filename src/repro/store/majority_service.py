@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..protocols.lv import ONE, ZERO, LVMajority
+from ..runtime.rng import make_generator
 from .snapshots import (
     SnapshotError,
     generator_from_array,
@@ -78,7 +79,7 @@ class MajorityService:
         self.versions = versions.copy()
         self.polls: List[PollRecord] = []
         self.clock_periods = 0
-        self._rng = np.random.Generator(np.random.MT19937(self._seed ^ 0xFACE))
+        self._rng = make_generator(self._seed ^ 0xFACE)
 
     # ------------------------------------------------------------------
     # Corruption model

@@ -284,6 +284,29 @@ class TestSaveTensors:
             assert counts[:, -1, index].tolist() \
                 == point_result.final_counts[state]
 
+    def test_tensor_records_total_messages(self, tmp_path):
+        from repro.check import message_model
+        from repro.campaign.registry import resolve_protocol
+
+        spec = tiny_spec()
+        result = run_campaign(spec, save_tensors=str(tmp_path))
+        point_result = result.results[0]
+        with np.load(tmp_path / point_result.tensor_path) as data:
+            assert "total_messages" in data.files
+            measured = data["total_messages"]
+            counts = data["counts"]
+        assert measured.shape == (spec.trials,)
+        assert measured.dtype == np.int64
+        assert np.all(measured > 0)
+        # The static complexity model must agree with what the engine
+        # actually charged (stride-1 recording makes the prediction
+        # exact in expectation).
+        protocol = resolve_protocol(point_result.point.protocol)
+        model = message_model(protocol.resolve(point_result.point.n).spec)
+        z = model.zscore(measured, counts, states=point_result.states)
+        assert np.all(np.isfinite(z))
+        assert np.all(np.abs(z) <= 5.0)
+
     def test_no_tensors_without_flag(self):
         result = run_campaign(tiny_spec())
         assert result.results[0].tensor_path is None

@@ -1,0 +1,221 @@
+"""Message-complexity model (`repro.check.complexity`) tests.
+
+The acceptance gate: ``expected_messages`` predictions z-test-match the
+engines' measured ``total_messages`` on endemic, Lotka-Volterra, and a
+push protocol at two population sizes each.  Plus hand-checked unit
+tests of ``predict_total`` / ``zscore`` and the symbolic model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.registry import resolve_protocol
+from repro.check import message_model, symbolic_message_model
+from repro.runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
+from repro.synthesis.actions import FlipAction, SampleAction
+from repro.synthesis.protocol import ProtocolSpec
+
+from statutil import z_bound
+
+TRIALS = 4
+PERIODS = 30
+#: (protocol, n) cross-check cases; two population sizes per protocol.
+CASES = [
+    ("endemic", 300),
+    ("endemic", 1000),
+    ("lv", 300),
+    ("lv", 1000),
+    ("epidemic-push", 300),
+    ("epidemic-push", 1000),
+]
+#: Family-wide bound across every per-trial comparison below.
+Z_GATE = z_bound(comparisons=len(CASES) * TRIALS)
+
+
+def run_case(name, n, seed):
+    resolved = resolve_protocol(name).resolve(n)
+    engine = BatchRoundEngine(
+        resolved.spec, n=n, trials=TRIALS, initial=resolved.initial,
+        seed=seed,
+    )
+    recorder = BatchMetricsRecorder(
+        engine.state_names, TRIALS, track_transitions=False, stride=1,
+    )
+    engine.run(PERIODS, recorder=recorder)
+    model = message_model(resolved.spec)
+    z = model.zscore(
+        engine.total_messages,
+        recorder.count_tensor(),
+        recorder.times,
+        states=engine.state_names,
+    )
+    return model, engine, z
+
+
+@pytest.mark.parametrize("name,n", CASES)
+def test_predicted_messages_match_measured(name, n):
+    model, engine, z = run_case(name, n, seed=2024 + n)
+    assert z.shape == (TRIALS,)
+    assert np.all(np.isfinite(z)), (name, n, z)
+    assert np.all(np.abs(z) <= Z_GATE), (name, n, z)
+    # The runs actually send messages -- the gate is not vacuous.
+    assert np.all(engine.total_messages > 0)
+
+
+def test_deterministic_charges_predict_exactly():
+    # Every message-bearing endemic action has probability 1.0, so the
+    # variance bound is 0 and the prediction must be *equal*, not just
+    # statistically compatible.
+    model, engine, z = run_case("endemic", 500, seed=7)
+    assert np.all(model.variances[np.nonzero(model.coefficients)] == 0)
+    assert np.all(z == 0.0)
+
+
+def test_endemic_per_state_cost():
+    spec = resolve_protocol("endemic").resolve(1000).spec
+    cost = message_model(spec).per_state_cost()
+    assert cost == {"x": 2.0, "y": 2.0, "z": 0.0}
+
+
+def test_expected_messages_mean_field_point():
+    spec = resolve_protocol("endemic").resolve(1000).spec
+    model = message_model(spec)
+    expected = model.expected_messages({"x": 0.5, "y": 0.25, "z": 0.25}, 1000)
+    assert expected == pytest.approx(1000 * (0.5 * 2.0 + 0.25 * 2.0))
+
+
+# ----------------------------------------------------------------------
+# Hand-checked predict_total / zscore semantics
+# ----------------------------------------------------------------------
+def toy_model():
+    spec = ProtocolSpec(
+        name="toy",
+        states=("a", "b"),
+        actions=(
+            SampleAction(
+                actor_state="a", probability=0.5, target_state="b",
+                required_states=("b",),
+            ),
+            FlipAction(actor_state="b", probability=0.2, target_state="a"),
+        ),
+        source=None,
+        exact_mean_field=False,
+    )
+    return message_model(spec)
+
+
+def test_predict_total_hand_checked():
+    model = toy_model()
+    # Only state a sends: width 1, p 0.5 -> coefficient 0.5, var 0.25.
+    assert model.per_state_cost() == {"a": 0.5, "b": 0.0}
+    counts = np.array([[10.0, 0.0], [6.0, 4.0], [4.0, 6.0]])
+    mean, bound = model.predict_total(counts)
+    # Two periods weighted by their *start* rows: 0.5*(10 + 6).
+    assert mean == pytest.approx(8.0)
+    assert bound == pytest.approx(0.25 * (10 + 6))
+
+
+def test_predict_total_stride_weighting():
+    model = toy_model()
+    counts = np.array([[10.0, 0.0], [6.0, 4.0]])
+    # Rows recorded at periods 0 and 3: the three periods are all
+    # weighted by the left row (left-constant approximation).
+    mean, _ = model.predict_total(counts, periods=[0, 3])
+    assert mean == pytest.approx(0.5 * 10 * 3)
+
+
+def test_predict_total_batches():
+    model = toy_model()
+    counts = np.array([
+        [[10.0, 0.0], [6.0, 4.0]],
+        [[2.0, 8.0], [2.0, 8.0]],
+    ])
+    mean, bound = model.predict_total(counts)
+    assert mean.shape == (2,)
+    assert mean == pytest.approx([5.0, 1.0])
+
+
+def test_predict_total_column_reorder():
+    model = toy_model()
+    counts = np.array([[0.0, 10.0], [4.0, 6.0]])  # columns (b, a)
+    mean, _ = model.predict_total(counts, states=("b", "a"))
+    assert mean == pytest.approx(0.5 * 10)
+
+
+def test_predict_total_rejects_bad_shapes():
+    model = toy_model()
+    with pytest.raises(ValueError):
+        model.predict_total(np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        model.predict_total(np.array([[1.0, 2.0]]))  # single row
+    with pytest.raises(ValueError):
+        model.predict_total(
+            np.array([[1.0, 2.0], [1.0, 2.0]]), periods=[0, 1, 2],
+        )
+
+
+def test_zscore_zero_variance_semantics():
+    spec = ProtocolSpec(
+        name="det",
+        states=("a", "b"),
+        actions=(
+            SampleAction(
+                actor_state="a", probability=1.0, target_state="b",
+                required_states=("b",),
+            ),
+        ),
+        source=None,
+        exact_mean_field=False,
+    )
+    model = message_model(spec)
+    counts = np.array([[10.0, 0.0], [0.0, 10.0]])
+    assert model.zscore(10.0, counts) == 0.0
+    assert model.zscore(11.0, counts) == np.inf
+
+
+def test_zscore_batched_zero_variance():
+    spec = ProtocolSpec(
+        name="det",
+        states=("a",),
+        actions=(
+            SampleAction(
+                actor_state="a", probability=1.0, target_state="a",
+                required_states=("a",),
+            ),
+        ),
+        source=None,
+        exact_mean_field=False,
+    )
+    model = message_model(spec)
+    counts = np.array([[[4.0], [4.0]], [[4.0], [4.0]]])
+    z = model.zscore(np.array([4.0, 5.0]), counts)
+    assert z[0] == 0.0 and z[1] == np.inf
+
+
+# ----------------------------------------------------------------------
+# Symbolic model
+# ----------------------------------------------------------------------
+def test_symbolic_model_matches_numeric():
+    sympy = pytest.importorskip("sympy")
+    spec = resolve_protocol("lv").resolve(100).spec
+    numeric = message_model(spec)
+    symbolic = symbolic_message_model(spec)
+    point = {symbolic.n_symbol: 100}
+    fractions = {}
+    for i, state in enumerate(spec.states):
+        value = 0.2 + 0.1 * i
+        point[symbolic.fraction_symbols[state]] = value
+        fractions[state] = value
+    bound = symbolic.total.subs(symbolic.substitutions).subs(point)
+    assert float(bound) == pytest.approx(
+        numeric.expected_messages(fractions, 100)
+    )
+
+
+def test_symbolic_model_renders_legend():
+    pytest.importorskip("sympy")
+    spec = resolve_protocol("endemic").resolve(100).spec
+    text = symbolic_message_model(spec).render()
+    assert "E[messages/period]" in text
+    assert "per x-process" in text
+    assert "coin bias" in text

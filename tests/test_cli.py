@@ -138,6 +138,15 @@ class TestAnalyzeCampaign:
         for state in ("x", "y", "z"):
             assert f"\n{state} " in out
 
+    def test_prints_predicted_vs_measured_messages(self, tmp_path, capsys):
+        tensors = self.run_campaign_with_tensors(tmp_path)
+        capsys.readouterr()
+        assert main(["analyze-campaign", str(tensors)]) == 0
+        out = capsys.readouterr().out
+        assert "messages: predicted" in out
+        assert "vs measured" in out
+        assert "MISMATCH" not in out
+
     def test_missing_manifest(self, tmp_path, capsys):
         assert main(["analyze-campaign", str(tmp_path)]) == 1
         assert "manifest.json" in capsys.readouterr().err

@@ -26,6 +26,7 @@ REQUIRED_DOCS = (
     "docs/campaigns.md",
     "docs/experiment.md",
     "docs/service.md",
+    "docs/static-analysis.md",
     "benchmarks/results/README.md",
 )
 
