@@ -26,6 +26,14 @@ Usage::
                                [--snapshot-every 100] [--max-periods 0]
                                [--events script.jsonl] [--virtual-clock]
     python -m repro replay    state/ [--from-snapshot] [--quiet]
+    python -m repro worker    --connect HOST:PORT
+
+``run`` and ``campaign`` accept ``--backend cluster`` to fan work
+units across process-isolated socket workers with heartbeats,
+dead-worker re-dispatch and elastic worker counts (results bitwise
+identical to the default pool backend); ``worker`` starts a standalone
+worker that dials in to such a run's coordinator (pin its port with
+``REPRO_CLUSTER_PORT``) and can join mid-plan.
 
 ``equations.txt`` holds one equation per line, e.g.::
 
@@ -54,7 +62,7 @@ from .campaign import (
     verify_replay,
 )
 from .experiment import ENGINES, Experiment, Protocol, parse_param_directives
-from .runtime.exec import ON_ERROR_MODES, FaultPolicy
+from .runtime.exec import BACKENDS, ON_ERROR_MODES, FaultPolicy
 from .odes import ParseError, auto_rewrite, classify, find_equilibria, integrate, parse_system
 from .runtime import MetricsRecorder, RoundEngine, spawn_seeds
 from .synthesis import SynthesisError, synthesize
@@ -241,8 +249,8 @@ def cmd_run(args) -> int:
             else args.scenario,
             seed=args.seed, engine=args.engine, loss_rate=args.loss_rate,
             stride=args.stride, initial=initial, workers=args.workers,
-            on_error=args.on_error, retries=args.retries,
-            unit_timeout=args.unit_timeout,
+            fault_policy=_fault_policy_from_args(args),
+            backend=args.backend,
         )
         result = experiment.run()
     except (KeyError, ValueError, TypeError) as exc:
@@ -278,8 +286,7 @@ def cmd_run(args) -> int:
               f"terminally and were skipped (on-error=skip); the "
               f"summary covers the {result.trials} surviving trial(s)")
         for failure in result.failures:
-            print(f"  {failure.label or f'unit {failure.index}'}: "
-                  f"{failure.error} (after {failure.attempts} attempts)")
+            print(f"  {_render_failure_provenance(failure.to_dict())}")
     print(f"ensemble trajectory summary over {result.trials} trial(s) "
           f"({result.elapsed_seconds:.2f}s):")
     print(result.render_summary())
@@ -350,6 +357,33 @@ def _print_message_check(point_json, counts, periods, states, measured):
           f"{total:,.0f} over all trials ({calibration}){approx}")
 
 
+def _render_failure_provenance(record: Dict) -> str:
+    """One line per persisted UnitFailure, naming who lost the unit.
+
+    Cluster-backend failures carry provenance (which worker died, how
+    many re-dispatches the unit survived, how many heartbeat intervals
+    were missed); pool/serial failures leave those fields empty and
+    render without them -- legacy manifests predating the fields parse
+    the same way.
+    """
+    label = record.get("label") or f"unit {record.get('index', '?')}"
+    parts = [f"{label}: {record.get('error', 'unknown error')}"]
+    attempts = record.get("attempts")
+    if attempts:
+        parts.append(f"after {attempts} attempt(s)")
+    worker = record.get("worker", "")
+    if worker:
+        detail = [f"last worker {worker}"]
+        redispatches = record.get("redispatches", 0)
+        if redispatches:
+            detail.append(f"re-dispatched {redispatches}x")
+        misses = record.get("heartbeat_misses", 0)
+        if misses:
+            detail.append(f"{misses} heartbeat miss(es)")
+        parts.append(f"[{', '.join(detail)}]")
+    return " ".join(parts)
+
+
 def cmd_analyze_campaign(args) -> int:
     """Offline summary tables from a campaign's saved tensors.
 
@@ -390,6 +424,8 @@ def cmd_analyze_campaign(args) -> int:
         print()
         if status != "done":
             print(f"{label}: not completed (status {status!r})")
+            for record in entry.get("failures", []):
+                print(f"  {_render_failure_provenance(record)}")
             failures += 1
             continue
         if not tensor_name:
@@ -507,14 +543,57 @@ def _campaign_spec_from_args(args) -> CampaignSpec:
 
 
 def _fault_policy_from_args(args) -> Optional[FaultPolicy]:
+    overrides = {}
+    if getattr(args, "heartbeat", None) is not None:
+        overrides["heartbeat_seconds"] = args.heartbeat
+    if getattr(args, "heartbeat_misses", None) is not None:
+        overrides["heartbeat_misses"] = args.heartbeat_misses
+    if getattr(args, "max_dispatches", None) is not None:
+        overrides["max_dispatches"] = args.max_dispatches
     try:
         return FaultPolicy(
             on_error=args.on_error,
             retries=args.retries,
             timeout_seconds=args.unit_timeout,
+            **overrides,
         )
     except ValueError as exc:
         raise SystemExit(f"invalid fault policy: {exc}")
+
+
+def _add_backend_arguments(parser) -> None:
+    """The executor-backend flags shared by ``run`` and ``campaign``."""
+    parser.add_argument("--backend", choices=BACKENDS, default="pool",
+                        help="work-unit executor: pool (default) is the "
+                             "local process pool; cluster fans units "
+                             "across process-isolated socket workers "
+                             "with heartbeats, dead-worker re-dispatch "
+                             "and elastic join (python -m repro worker) "
+                             "-- results are bitwise identical either "
+                             "way")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        metavar="SECONDS",
+                        help="cluster backend: expected interval "
+                             "between worker heartbeats (default 0.5)")
+    parser.add_argument("--heartbeat-misses", type=int, default=None,
+                        metavar="COUNT",
+                        help="cluster backend: silent heartbeat "
+                             "intervals before a worker is declared "
+                             "dead and its unit re-dispatched "
+                             "(default 4)")
+    parser.add_argument("--max-dispatches", type=int, default=None,
+                        metavar="COUNT",
+                        help="cluster backend: workers a unit may be "
+                             "dispatched to before its loss counts as "
+                             "the unit's own terminal failure "
+                             "(default 3)")
+
+
+def cmd_worker(args) -> int:
+    """Run one standalone cluster worker process (dials in over TCP)."""
+    from .runtime.cluster import worker_main
+
+    return worker_main(args.connect)
 
 
 def cmd_campaign(args) -> int:
@@ -619,8 +698,8 @@ def cmd_campaign(args) -> int:
             print(
                 f"invalid campaign: {', '.join(conflicting)} cannot be "
                 f"combined with --resume; the campaign's parameters come "
-                f"from the checkpointed manifest (only --workers, --out "
-                f"and the fault-policy flags apply)",
+                f"from the checkpointed manifest (only --workers, "
+                f"--backend, --out and the fault-policy flags apply)",
                 file=sys.stderr,
             )
             return 1
@@ -648,6 +727,7 @@ def cmd_campaign(args) -> int:
                 spec, workers=args.workers, progress=progress,
                 resume=args.resume,
                 fault_policy=_fault_policy_from_args(args),
+                backend=args.backend,
             )
         except (ValueError, KeyError, RuntimeError) as exc:
             print(f"cannot resume: {exc}", file=sys.stderr)
@@ -689,6 +769,7 @@ def cmd_campaign(args) -> int:
         spec, workers=args.workers, progress=progress,
         save_tensors=args.save_tensors,
         fault_policy=_fault_policy_from_args(args),
+        backend=args.backend,
     )
     if args.out:
         Path(args.out).write_text(result.to_json())
@@ -1052,6 +1133,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wall-clock bound per work-unit attempt; "
                             "an expired attempt fails like any other "
                             "fault")
+    _add_backend_arguments(p_run)
     p_run.add_argument("--show-protocol", action="store_true",
                        help="print the synthesized state machine")
     p_run.add_argument("--plot", action="store_true",
@@ -1176,7 +1258,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--unit-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="wall-clock bound per work-unit attempt")
+    _add_backend_arguments(p_camp)
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="run one standalone cluster worker that dials in to a "
+             "--backend cluster coordinator (elastic mid-plan join)",
+    )
+    p_worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="coordinator address (pin the "
+                               "coordinator's port with "
+                               "REPRO_CLUSTER_PORT to make it known)")
+    p_worker.set_defaults(func=cmd_worker)
 
     p_serve = sub.add_parser(
         "serve",

@@ -480,6 +480,7 @@ def run_campaign(
     save_tensors: Optional[str] = None,
     resume: Optional[str] = None,
     fault_policy: Optional[FaultPolicy] = None,
+    backend: str = "pool",
 ) -> CampaignResult:
     """Run every point of the campaign grid.
 
@@ -520,6 +521,18 @@ def run_campaign(
     their point -- the other points complete, the failed ones are
     recorded on :attr:`CampaignResult.failures` and marked ``failed``
     in the manifest (a later ``resume`` re-runs them).
+
+    ``backend`` selects the executor
+    (:data:`~repro.runtime.exec.BACKENDS`): ``"pool"`` (default) or
+    ``"cluster"`` -- process-isolated socket workers with heartbeats,
+    dead-worker re-dispatch and elastic worker counts.  ``backend`` is
+    pure scheduling, never part of the campaign's identity: manifests
+    and tensors are bitwise identical across backends, so a campaign
+    checkpointed on one backend resumes cleanly on the other.  A
+    SIGTERM during a cluster run drains in-flight units into the
+    checkpoint and raises
+    :class:`~repro.runtime.cluster.ClusterDrained`; resume then
+    finishes the remaining points.
     """
     points = spec.expand()
     if workers < 1:
@@ -667,6 +680,7 @@ def run_campaign(
         on_unit=complete,
         fault_policy=fault_policy,
         on_failure=record_failure,
+        backend=backend,
     )
 
     checkpoint()

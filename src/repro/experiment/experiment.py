@@ -36,7 +36,7 @@ import time
 from typing import Mapping, Optional, Union
 
 from ..runtime.batch_engine import BatchMetricsRecorder, BatchRoundEngine
-from ..runtime.exec import FaultPolicy
+from ..runtime.exec import BACKENDS, FaultPolicy
 from ..runtime.metrics import MetricsRecorder
 from ..runtime.parallel import AgentEnsemble, ShardedBatchExecutor
 from ..runtime.round_engine import RoundEngine
@@ -112,6 +112,22 @@ class Experiment:
         a clean one), ``"skip"`` keeps the surviving units and records
         the losses on :attr:`ExperimentResult.failures`.
         ``unit_timeout`` bounds each attempt's wall clock in seconds.
+    fault_policy:
+        A fully-built :class:`~repro.runtime.exec.FaultPolicy`
+        overriding the three convenience knobs above -- the way to
+        reach the cluster backend's heartbeat interval/miss-threshold
+        and re-dispatch budget.
+    backend:
+        Executor backend for every work-unit fan-out
+        (:data:`~repro.runtime.exec.BACKENDS`): ``"pool"`` (default)
+        keeps the local process pool; ``"cluster"`` runs socket-
+        connected worker processes with heartbeats, dead-worker
+        re-dispatch and elastic worker counts -- results are bitwise
+        identical either way (plan contract clause 5).  With
+        ``backend="cluster"`` the batch/lockstep tiers route through
+        the sharded executor even at ``workers=1`` (a single shard
+        keeps the root seed, so results still match the unsharded
+        run bit for bit).
     """
 
     def __init__(
@@ -133,6 +149,8 @@ class Experiment:
         on_error: str = "raise",
         retries: int = 2,
         unit_timeout: Optional[float] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        backend: str = "pool",
         check: str = "warn",
     ):
         if isinstance(protocol, str):
@@ -153,6 +171,11 @@ class Experiment:
             raise ValueError(f"periods must be >= 1, got {periods}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        self.backend = backend
         self.protocol = protocol
         self.n = n
         self.trials = trials
@@ -179,11 +202,15 @@ class Experiment:
         #: ``"strict"`` raises, ``"off"`` skips.
         self.check = check
         # Constructing the policy up front validates on_error/retries/
-        # unit_timeout with FaultPolicy's own error messages.
-        self.fault_policy = FaultPolicy(
-            on_error=on_error,
-            retries=retries,
-            timeout_seconds=unit_timeout,
+        # unit_timeout with FaultPolicy's own error messages; a
+        # fully-built policy (heartbeat tuning, dispatch budget) wins
+        # over the convenience knobs.
+        self.fault_policy = (
+            fault_policy if fault_policy is not None else FaultPolicy(
+                on_error=on_error,
+                retries=retries,
+                timeout_seconds=unit_timeout,
+            )
         )
 
     # ------------------------------------------------------------------
@@ -325,7 +352,7 @@ class Experiment:
         ensemble = AgentEnsemble(
             spec, n=self.n, trials=self.trials, initial=initial,
             seed=self.seed, loss_rate=self.loss_rate,
-            workers=self.workers,
+            workers=self.workers, backend=self.backend,
         )
         outcome = ensemble.run(
             self.periods,
@@ -352,12 +379,17 @@ class Experiment:
             [self.scenario.hook_factory(context)] if self.scenario else ()
         )
         shards = min(self.workers, self.trials)
-        if shards > 1:
+        # The cluster backend always routes through the sharded
+        # executor (even at shards == 1, which keeps the root seed and
+        # is bitwise-equal to the unsharded engine), so process
+        # isolation and re-dispatch apply at any worker count.
+        if shards > 1 or self.backend != "pool":
             executor = ShardedBatchExecutor(
                 spec, n=self.n, trials=self.trials, initial=initial,
                 seed=self.seed,
                 connection_failure_rate=self.loss_rate,
                 mode=mode, shards=shards, workers=self.workers,
+                backend=self.backend,
             )
             outcome = executor.run(
                 self.periods,

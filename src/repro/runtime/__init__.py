@@ -42,7 +42,9 @@ from .membership import FullMembership, PartialMembership
 from .metrics import MetricsRecorder, WindowStats
 from .network import ContactFailed, LatencyModel, Network
 from .overlay import erdos_renyi_overlay, log_degree, overlay_stats, random_regular_overlay
+from .chaos import ChaosSchedule, WorkerFault
 from .exec import (
+    BACKENDS,
     ExecutionPlan,
     FaultPolicy,
     UnitExecutionError,
@@ -75,12 +77,15 @@ __all__ = [
     "ActionPlanner",
     "PlannedAction",
     "TrialMemberPools",
+    "BACKENDS",
+    "ChaosSchedule",
     "ExecutionPlan",
     "FaultPolicy",
     "UnitExecutionError",
     "UnitFailure",
     "UnitTimeout",
     "WorkUnit",
+    "WorkerFault",
     "run_plan",
     "ShardedBatchExecutor",
     "ShardedRunResult",

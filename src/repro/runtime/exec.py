@@ -43,6 +43,14 @@ The reproducibility contract, shared by every caller:
    bitwise identical to a run that needed one.  Failures surface as
    :class:`UnitFailure` records carrying the unit's index, label and
    traceback instead of an opaque pool blow-up.
+5. **Worker loss cannot perturb results.**  Under the ``cluster``
+   backend (:mod:`repro.runtime.cluster`), a worker that dies or stops
+   heartbeating mid-unit is fenced and its unit re-dispatched to a
+   survivor -- the *same* pre-pickled payload bytes from
+   :func:`_encode_units`, landing in the same merge slot -- so a run
+   that lost two workers is bitwise identical to one that lost none.
+   Units that out-live ``FaultPolicy.max_dispatches`` workers flow
+   into the same :class:`UnitFailure` machinery as clause 4.
 
 ``workers`` is therefore pure *scheduling budget*: callers that nest
 (a campaign point expanding into trial shards) flatten their levels
@@ -67,6 +75,7 @@ from pathlib import Path, PurePath
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "BACKENDS",
     "ExecutionPlan",
     "FaultPolicy",
     "UnitExecutionError",
@@ -78,6 +87,13 @@ __all__ = [
 
 #: The ``on_error`` modes a :class:`FaultPolicy` accepts.
 ON_ERROR_MODES = ("raise", "skip", "retry")
+
+#: The executor backends :func:`run_plan` accepts.  ``"pool"`` is the
+#: local ``multiprocessing.Pool``; ``"cluster"`` is the socket-based
+#: process-isolated coordinator/worker backend
+#: (:mod:`repro.runtime.cluster`) with heartbeats, dead-worker
+#: re-dispatch and elastic worker counts.
+BACKENDS = ("pool", "cluster")
 
 
 @dataclass(frozen=True)
@@ -120,23 +136,45 @@ class FaultPolicy:
 
     ``timeout_seconds`` bounds each *attempt* wall-clock; an expired
     attempt fails with :class:`UnitTimeout` and follows the same
-    retry/skip/raise path as any other exception.  Timeouts need a
-    Unix ``SIGALRM`` delivered to the executing thread, so they are
-    enforced in pool workers and in main-thread in-process runs, and
-    silently skipped where that signal cannot be armed (Windows,
-    non-main threads).
+    retry/skip/raise path as any other exception.  On POSIX main
+    threads the bound is armed with an interval timer + ``SIGALRM``;
+    everywhere else (Windows, worker threads, cluster worker unit
+    loops) a watchdog thread raises the timeout asynchronously into
+    the executing thread instead, so the bound holds on every backend.
+
+    The heartbeat/dispatch fields only matter to the ``cluster``
+    backend of :func:`run_plan`: a worker that sends no message for
+    ``heartbeat_seconds * heartbeat_misses`` is declared dead and its
+    in-flight unit is re-dispatched (same pre-pickled payload, so
+    results cannot change); a unit that out-lives ``max_dispatches``
+    workers is treated as the unit's own fault and follows
+    ``on_error``.
     """
 
     on_error: str = "raise"
     #: Extra attempts per unit after the first (``on_error != "raise"``).
     retries: int = 2
     #: Backoff before retry k (0-based) is
-    #: ``min(backoff_seconds * backoff_factor**k, max_backoff_seconds)``.
+    #: ``min(backoff_seconds * backoff_factor**k, max_backoff_seconds)``,
+    #: shrunk by up to ``jitter`` of itself when a unit index is known.
     backoff_seconds: float = 0.05
     backoff_factor: float = 2.0
     max_backoff_seconds: float = 2.0
+    #: Fraction of each backoff randomized away (0 = exact exponential,
+    #: 1 = anywhere in (0, backoff]).  Deterministic per (unit, attempt):
+    #: the jitter is hashed from the unit index, not drawn from entropy,
+    #: so retried runs stay bitwise reproducible while a mass retry
+    #: after a worker death decorrelates instead of stampeding.
+    jitter: float = 0.5
     #: Wall-clock bound per attempt (None = unbounded).
     timeout_seconds: Optional[float] = None
+    #: Cluster backend: expected interval between worker heartbeats.
+    heartbeat_seconds: float = 0.5
+    #: Cluster backend: silent intervals before a worker is declared dead.
+    heartbeat_misses: int = 4
+    #: Cluster backend: total workers a unit may be dispatched to before
+    #: its loss is treated as the unit's own terminal failure.
+    max_dispatches: int = 3
 
     def __post_init__(self):
         if self.on_error not in ON_ERROR_MODES:
@@ -152,9 +190,25 @@ class FaultPolicy:
             raise ValueError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must be within [0, 1], got {self.jitter}"
+            )
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ValueError(
                 f"timeout_seconds must be > 0, got {self.timeout_seconds}"
+            )
+        if self.heartbeat_seconds <= 0:
+            raise ValueError(
+                f"heartbeat_seconds must be > 0, got {self.heartbeat_seconds}"
+            )
+        if self.heartbeat_misses < 1:
+            raise ValueError(
+                f"heartbeat_misses must be >= 1, got {self.heartbeat_misses}"
+            )
+        if self.max_dispatches < 1:
+            raise ValueError(
+                f"max_dispatches must be >= 1, got {self.max_dispatches}"
             )
 
     @property
@@ -162,12 +216,46 @@ class FaultPolicy:
         """Total attempts per unit (1 under ``on_error="raise"``)."""
         return 1 if self.on_error == "raise" else 1 + self.retries
 
-    def backoff_for(self, failed_attempts: int) -> float:
-        """Seconds to wait before the next attempt."""
-        return min(
+    @property
+    def heartbeat_deadline(self) -> float:
+        """Silence (seconds) after which a cluster worker is dead."""
+        return self.heartbeat_seconds * self.heartbeat_misses
+
+    def backoff_for(
+        self, failed_attempts: int, unit_index: Optional[int] = None
+    ) -> float:
+        """Seconds to wait before the next attempt.
+
+        With a ``unit_index``, the capped exponential base is shrunk by
+        a deterministic per-(unit, attempt) jitter fraction so that
+        many units retrying at once (e.g. after a worker death)
+        decorrelate their sleeps.  Without one -- or with ``jitter=0``
+        -- the exact capped exponential is returned.
+        """
+        base = min(
             self.backoff_seconds * self.backoff_factor ** failed_attempts,
             self.max_backoff_seconds,
         )
+        if unit_index is None or self.jitter == 0.0 or base == 0.0:
+            return base
+        fraction = _jitter_fraction(unit_index, failed_attempts)
+        return base * (1.0 - self.jitter * fraction)
+
+
+def _jitter_fraction(unit_index: int, attempt: int) -> float:
+    """A reproducible uniform-ish fraction in [0, 1) for backoff jitter.
+
+    A splitmix64 finalizer over ``(unit_index, attempt)`` -- pure
+    integer arithmetic, no RNG object and no entropy, so the jittered
+    backoff schedule is a function of the unit alone and retried runs
+    stay bitwise identical wherever the unit executes.
+    """
+    mask = (1 << 64) - 1
+    z = (unit_index * 0x9E3779B97F4A7C15 + attempt + 0x1D8E4E27C47D124F) & mask
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+    z ^= z >> 31
+    return (z >> 11) / float(1 << 53)
 
 
 @dataclass(frozen=True)
@@ -178,6 +266,15 @@ class UnitFailure:
     failed unit's slot) and in the ``on_failure`` stream; under
     ``"raise"``/``"retry"`` the first one aborts the plan wrapped in a
     :class:`UnitExecutionError`.
+
+    The provenance fields are filled by the cluster backend: ``worker``
+    is the id of the last worker the unit was dispatched to,
+    ``redispatches`` counts dispatches beyond the first (worker deaths
+    the unit survived before failing terminally), and
+    ``heartbeat_misses`` counts heartbeat intervals those dead workers
+    were silent for in total -- so a skipped campaign point says *which*
+    worker died, not just that an attempt failed.  Pool/serial failures
+    leave them at their empty defaults.
     """
 
     index: int
@@ -185,6 +282,9 @@ class UnitFailure:
     error: str
     traceback: str
     attempts: int
+    worker: str = ""
+    redispatches: int = 0
+    heartbeat_misses: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -193,6 +293,9 @@ class UnitFailure:
             "error": self.error,
             "traceback": self.traceback,
             "attempts": self.attempts,
+            "worker": self.worker,
+            "redispatches": self.redispatches,
+            "heartbeat_misses": self.heartbeat_misses,
         }
 
     @classmethod
@@ -203,6 +306,9 @@ class UnitFailure:
             error=str(data["error"]),
             traceback=str(data["traceback"]),
             attempts=int(data["attempts"]),
+            worker=str(data.get("worker", "")),
+            redispatches=int(data.get("redispatches", 0)),
+            heartbeat_misses=int(data.get("heartbeat_misses", 0)),
         )
 
 
@@ -225,32 +331,69 @@ class UnitTimeout(Exception):
 
 @contextmanager
 def _attempt_deadline(seconds: Optional[float]):
-    """Arm a wall-clock bound for one attempt, where the platform allows.
+    """Arm a wall-clock bound for one attempt: ``SIGALRM`` or watchdog.
 
-    Uses an interval timer + ``SIGALRM`` so an expired attempt raises
+    On POSIX main threads, an interval timer + ``SIGALRM`` raises
     :class:`UnitTimeout` *inside* the unit, joining the ordinary
-    exception path.  Signals only reach the main thread of a process
-    (which is where pool workers and in-process serial runs execute),
-    so anywhere else the bound is a documented no-op.
+    exception path -- this interrupts anything, including blocking C
+    calls.  Where that signal cannot be armed (Windows, non-main
+    threads -- notably cluster worker unit loops, which run alongside a
+    heartbeat thread), a watchdog timer thread asynchronously raises
+    :class:`UnitTimeout` into the executing thread instead.  The
+    watchdog path only fires at Python bytecode boundaries, so it
+    bounds runaway computation but cannot interrupt a single blocking
+    C call -- a weaker guarantee than ``SIGALRM``, and far stronger
+    than the silent no-op it replaces.
     """
-    if (
-        seconds is None
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if seconds is None:
         yield
         return
+    if (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        def expire(signum, frame):
+            raise UnitTimeout(
+                f"attempt exceeded the {seconds:g}s unit timeout"
+            )
 
-    def expire(signum, frame):
-        raise UnitTimeout(f"attempt exceeded the {seconds:g}s unit timeout")
+        previous = signal.signal(signal.SIGALRM, expire)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        return
 
-    previous = signal.signal(signal.SIGALRM, expire)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    target_id = threading.get_ident()
+
+    def interrupt():
+        _raise_in_thread(target_id, UnitTimeout)
+
+    watchdog = threading.Timer(seconds, interrupt)
+    watchdog.daemon = True
+    watchdog.start()
     try:
         yield
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        watchdog.cancel()
+        watchdog.join()
+        # If the watchdog fired after the unit finished but before the
+        # cancel, a UnitTimeout may still be pending on this thread;
+        # clearing it keeps a completed attempt from being failed
+        # retroactively at the next bytecode boundary.
+        _raise_in_thread(target_id, None)
+
+
+def _raise_in_thread(thread_id: int, exc_type) -> None:
+    """Schedule (or clear, with None) an async exception in a thread."""
+    import ctypes
+
+    ctypes.pythonapi.PyThreadState_SetAsyncExc(
+        ctypes.c_ulong(thread_id),
+        ctypes.py_object(exc_type) if exc_type is not None else None,
+    )
 
 
 #: Longest traceback text a UnitFailure will carry.  Failures under
@@ -317,7 +460,7 @@ def _attempt_unit(
             error = repr(exc)
             trace = _normalize_traceback(traceback_module.format_exc())
             if attempt + 1 < policy.attempts:
-                time.sleep(policy.backoff_for(attempt))
+                time.sleep(policy.backoff_for(attempt, unit_index=index))
     return index, None, UnitFailure(
         index=index,
         label=label,
@@ -389,6 +532,8 @@ def run_plan(
     on_unit: Optional[Callable[[int, Any], None]] = None,
     fault_policy: Optional[FaultPolicy] = None,
     on_failure: Optional[Callable[[UnitFailure], None]] = None,
+    backend: str = "pool",
+    chaos: Any = None,
 ) -> Any:
     """Execute every unit of ``plan`` and return its merged result.
 
@@ -406,12 +551,28 @@ def run_plan(
     and occupy their merge slot as :class:`UnitFailure` records;
     otherwise a terminal failure aborts the plan with
     :class:`UnitExecutionError`.
+
+    ``backend`` selects the executor (:data:`BACKENDS`).  ``"pool"``
+    (default) is the local ``multiprocessing.Pool``.  ``"cluster"``
+    runs a socket coordinator that spawns ``workers`` worker
+    *processes* which dial in, heartbeat, and can join/leave mid-plan;
+    a dead or hung worker's in-flight unit is re-dispatched (the same
+    pre-pickled payload) to a survivor, so results remain bitwise
+    identical to pool and serial runs -- the plan contract, clause 5.
+    ``chaos`` (cluster only) is a
+    :class:`~repro.runtime.chaos.ChaosSchedule` of scripted worker
+    faults for testing that claim.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
     policy = fault_policy if fault_policy is not None else FaultPolicy()
     units = list(plan.units)
-    fan_out = workers > 1 and len(units) > 1
+    cluster = backend == "cluster" and len(units) > 0
+    fan_out = cluster or (workers > 1 and len(units) > 1)
     blobs: Optional[List[bytes]] = None
     if fan_out:
         blobs = _encode_units(plan)
@@ -426,6 +587,7 @@ def run_plan(
                 stacklevel=2,
             )
             fan_out = False
+            cluster = False
 
     outputs: Optional[List[Any]] = (
         [None] * len(units) if plan.merge is not None else None
@@ -445,7 +607,21 @@ def run_plan(
         if outputs is not None:
             outputs[index] = output
 
-    if fan_out:
+    if cluster:
+        from repro.runtime.cluster import ClusterCoordinator
+
+        coordinator = ClusterCoordinator(
+            label=plan.label,
+            blobs=blobs,
+            labels=[unit.label for unit in units],
+            policy=policy,
+            workers=workers,
+            initializer=plan.initializer,
+            initargs=plan.initargs,
+            chaos=chaos,
+        )
+        coordinator.run(land)
+    elif fan_out:
         with multiprocessing.Pool(
             processes=min(workers, len(units)),
             initializer=plan.initializer,

@@ -46,6 +46,7 @@ from ..synthesis.protocol import ProtocolSpec
 from .agent_sim import AgentSimulation
 from .batch_engine import BatchMetricsRecorder, BatchRoundEngine, HookFactory
 from .exec import (
+    BACKENDS,
     ExecutionPlan,
     FaultPolicy,
     UnitExecutionError,
@@ -237,6 +238,12 @@ class ShardedBatchExecutor:
     workers:
         Processes to fan the shards across (1 = run them serially in
         this process -- same bits, no pool).
+    backend:
+        Executor backend for the fan-out
+        (:data:`~repro.runtime.exec.BACKENDS`): ``"pool"`` (default)
+        or ``"cluster"`` -- socket workers with heartbeats and
+        dead-worker re-dispatch, bitwise identical by the plan
+        contract.
 
     Hook factories passed to :meth:`run` are indexed by *global* trial,
     so scenarios inject identical faults however the ensemble is
@@ -256,6 +263,7 @@ class ShardedBatchExecutor:
         mode: str = "batch",
         shards: Optional[int] = None,
         workers: int = 1,
+        backend: str = "pool",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -263,6 +271,11 @@ class ShardedBatchExecutor:
             raise ValueError(
                 f"mode must be 'batch' or 'lockstep', got {mode!r}"
             )
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        self.backend = backend
         self.spec = spec
         self.n = n
         self.trials = trials
@@ -353,7 +366,7 @@ class ShardedBatchExecutor:
             label=f"sharded {self.spec.name!r} ensemble",
         )
         return run_plan(plan, workers=self.workers,
-                        fault_policy=fault_policy)
+                        fault_policy=fault_policy, backend=self.backend)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
@@ -457,6 +470,9 @@ class AgentEnsemble:
     workers:
         Processes to fan the trials across (clamped to ``trials``;
         1 = run them serially in this process -- same bits, no pool).
+    backend:
+        Executor backend (:data:`~repro.runtime.exec.BACKENDS`):
+        ``"pool"`` (default) or ``"cluster"``.
 
     Hook factories passed to :meth:`run` are called with the global
     trial index and must return a per-period hook ``hook(simulation)``
@@ -476,11 +492,17 @@ class AgentEnsemble:
         loss_rate: float = 0.0,
         clock_drift_std: float = 0.0,
         workers: int = 1,
+        backend: str = "pool",
     ):
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        self.backend = backend
         self.spec = spec
         self.n = n
         self.trials = trials
@@ -557,7 +579,7 @@ class AgentEnsemble:
             label=f"agent ensemble {self.spec.name!r}",
         )
         return run_plan(plan, workers=self.workers,
-                        fault_policy=fault_policy)
+                        fault_policy=fault_policy, backend=self.backend)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

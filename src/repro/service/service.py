@@ -174,6 +174,7 @@ class ProtocolService:
         periods: int,
         seed: Optional[int] = None,
         workers: int = 1,
+        backend: str = "pool",
     ) -> Dict[str, Any]:
         """Fork a batch ensemble off the live state and summarize it.
 
@@ -184,7 +185,7 @@ class ProtocolService:
         forked_at = self.core.live.period
         experiment = Experiment.from_live(
             self.core.live, trials=trials, periods=periods, seed=seed,
-            workers=workers,
+            workers=workers, backend=backend,
         )
         loop = asyncio.get_running_loop()
         result = await loop.run_in_executor(None, experiment.run)
@@ -245,6 +246,7 @@ async def _dispatch(service: ProtocolService, request: Any) -> Any:
             periods=int(request.get("periods", 100)),
             seed=request.get("seed"),
             workers=int(request.get("workers", 1)),
+            backend=str(request.get("backend", "pool")),
         )
     if op == "stop":
         # Stop after this response is flushed: the handler sees the

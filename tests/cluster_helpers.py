@@ -1,0 +1,27 @@
+"""Runners for cluster-backend tests.
+
+Cluster workers are *fresh* OS processes (not forks), so any runner a
+test ships to them must be importable by name on the worker's
+``sys.path``.  Functions defined inside a pytest module are only
+importable when the tests directory itself is on ``PYTHONPATH`` --
+the ``worker_path`` fixture in ``test_cluster.py`` arranges exactly
+that, and this module keeps the runners in one predictable place.
+"""
+
+import os
+import time
+
+
+def double_unit(payload):
+    return payload * 2
+
+
+def slow_double(payload):
+    value, seconds = payload
+    time.sleep(seconds)
+    return value * 2
+
+
+def unit_pid(payload):
+    """Report which OS process ran the unit."""
+    return (payload, os.getpid())

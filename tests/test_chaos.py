@@ -1,0 +1,95 @@
+"""Tests for the deterministic fault-injection harness (repro.runtime.chaos)."""
+
+import json
+
+import pytest
+
+from repro.runtime.chaos import (
+    FAULTS_ENV,
+    SCHEDULE_ENV,
+    ChaosSchedule,
+    WorkerFault,
+    faults_env_value,
+    faults_from_env,
+)
+
+
+class TestWorkerFault:
+    def test_round_trips(self):
+        fault = WorkerFault(kind="kill", after_units=2, seconds=0.1)
+        assert WorkerFault.from_dict(fault.to_dict()) == fault
+
+    def test_dict_defaults(self):
+        fault = WorkerFault.from_dict({"kind": "hang"})
+        assert fault.after_units == 1
+        assert fault.seconds == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("bad", [
+        {"kind": "explode"},
+        {"kind": "kill", "after_units": 0},
+        {"kind": "delay", "seconds": -1.0},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            WorkerFault(**bad)
+
+
+class TestChaosSchedule:
+    def test_json_round_trips(self):
+        schedule = ChaosSchedule(faults={
+            0: (WorkerFault(kind="kill"),),
+            2: (
+                WorkerFault(kind="hang", after_units=2),
+                WorkerFault(kind="delay", seconds=0.5),
+            ),
+        })
+        restored = ChaosSchedule.from_json(schedule.to_json())
+        assert restored == schedule
+
+    def test_for_worker(self):
+        fault = WorkerFault(kind="kill")
+        schedule = ChaosSchedule(faults={1: (fault,)})
+        assert schedule.for_worker(1) == (fault,)
+        assert schedule.for_worker(0) == ()
+        # External joiners have no launch index and never match.
+        assert schedule.for_worker(None) == ()
+
+    def test_string_keys_normalize(self):
+        # JSON object keys are strings; the schedule normalizes them.
+        schedule = ChaosSchedule(faults={"3": [WorkerFault(kind="kill")]})
+        assert schedule.for_worker(3) == (WorkerFault(kind="kill"),)
+
+    def test_negative_launch_index_rejected(self):
+        with pytest.raises(ValueError, match="launch index"):
+            ChaosSchedule(faults={-1: (WorkerFault(kind="kill"),)})
+
+    def test_from_json_rejects_non_objects(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            ChaosSchedule.from_json("[1, 2]")
+        with pytest.raises(ValueError, match="JSON list"):
+            ChaosSchedule.from_json('{"0": {"kind": "kill"}}')
+
+    def test_from_env(self):
+        environ = {SCHEDULE_ENV: json.dumps(
+            {"0": [{"kind": "kill", "after_units": 1}]}
+        )}
+        schedule = ChaosSchedule.from_env(environ)
+        assert schedule.for_worker(0) == (
+            WorkerFault(kind="kill", after_units=1),
+        )
+        assert ChaosSchedule.from_env({}) is None
+        assert ChaosSchedule.from_env({SCHEDULE_ENV: ""}) is None
+
+
+class TestWorkerFaultEnv:
+    def test_round_trips_through_the_environment(self):
+        faults = (
+            WorkerFault(kind="slow-start", seconds=0.2),
+            WorkerFault(kind="kill", after_units=3),
+        )
+        environ = {FAULTS_ENV: faults_env_value(faults)}
+        assert faults_from_env(environ) == faults
+
+    def test_unset_means_no_faults(self):
+        assert faults_from_env({}) == ()
+        assert faults_from_env({FAULTS_ENV: ""}) == ()

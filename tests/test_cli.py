@@ -169,6 +169,45 @@ class TestRunWorkers:
         assert "ensemble trajectory summary" in out
 
 
+class TestRunClusterBackend:
+    @pytest.mark.slow
+    def test_run_with_cluster_backend(self, capsys):
+        assert main([
+            "run", "endemic", "--n", "300", "--trials", "2",
+            "--periods", "5", "--seed", "3", "--workers", "2",
+            "--backend", "cluster", "--heartbeat", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ensemble trajectory summary" in out
+
+
+class TestFailureProvenanceRendering:
+    def test_cluster_failure_renders_provenance(self):
+        from repro.__main__ import _render_failure_provenance
+
+        line = _render_failure_provenance({
+            "label": "lv/n=200/f=0/none",
+            "error": "worker 'w1' lost",
+            "attempts": 2,
+            "worker": "w1",
+            "redispatches": 1,
+            "heartbeat_misses": 3,
+        })
+        assert "lv/n=200/f=0/none" in line
+        assert "after 2 attempt(s)" in line
+        assert "last worker w1" in line
+        assert "re-dispatched 1x" in line
+        assert "3 heartbeat miss(es)" in line
+
+    def test_legacy_record_renders_without_provenance(self):
+        from repro.__main__ import _render_failure_provenance
+
+        line = _render_failure_provenance({
+            "label": "pt", "error": "boom", "attempts": 1,
+        })
+        assert line == "pt: boom after 1 attempt(s)"
+
+
 class TestCampaignEquationsAxis:
     def test_equations_axis_runs_and_replays(self, equations_file, tmp_path,
                                              capsys):

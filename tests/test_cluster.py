@@ -1,0 +1,436 @@
+"""Tests for the cluster backend (repro.runtime.cluster).
+
+Three layers, cheapest first: pure framing (no sockets beyond a
+``socketpair``), a :class:`WorkerSession` driven in-process against a
+scripted coordinator stub, and full ``run_plan(backend="cluster")``
+runs with real spawned worker processes -- including scripted chaos
+(kill/hang), dispatch-exhaustion provenance, SIGTERM drain, and an
+elastic standalone ``python -m repro worker`` joining mid-plan.
+"""
+
+import os
+import pickle
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import cluster_helpers as helpers
+from repro.runtime import (
+    ChaosSchedule,
+    ExecutionPlan,
+    FaultPolicy,
+    WorkerFault,
+    WorkUnit,
+    run_plan,
+)
+from repro.runtime.cluster import (
+    PORT_ENV,
+    SCHEDULE_ENV,
+    ClusterCoordinator,
+    ClusterDrained,
+    MessageBuffer,
+    WorkerSession,
+    encode_message,
+    recv_message,
+)
+from repro.runtime.exec import UnitFailure, _encode_units
+
+TESTS_DIR = Path(__file__).resolve().parent
+SRC_DIR = TESTS_DIR.parent / "src"
+
+
+@pytest.fixture
+def worker_path(monkeypatch):
+    """Make this tests directory importable from spawned workers.
+
+    The coordinator prepends the repro ``src`` root to each spawned
+    worker's ``PYTHONPATH``; the runners in ``cluster_helpers`` need
+    the tests directory too, or unpickling them in the worker fails.
+    """
+    existing = os.environ.get("PYTHONPATH", "")
+    monkeypatch.setenv(
+        "PYTHONPATH",
+        str(TESTS_DIR) + (os.pathsep + existing if existing else ""),
+    )
+
+
+def fast_policy(**overrides):
+    """A fault policy tuned so failure detection takes ~0.3s, not 2s."""
+    base = dict(heartbeat_seconds=0.1, heartbeat_misses=3)
+    base.update(overrides)
+    return FaultPolicy(**base)
+
+
+def plan_of(values, runner=helpers.double_unit, **kwargs):
+    return ExecutionPlan(
+        units=[
+            WorkUnit(runner=runner, payload=v, label=f"unit-{i}")
+            for i, v in enumerate(values)
+        ],
+        merge=list,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_socket_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            message = ("result", 3, {"value": [1, 2, 3]}, None)
+            a.sendall(encode_message(message))
+            assert recv_message(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_none_on_eof(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_message(b) is None
+        finally:
+            b.close()
+
+    def test_buffer_reassembles_byte_by_byte(self):
+        message = ("unit", 7, b"payload-blob", "label", None)
+        frame = encode_message(message)
+        buffer = MessageBuffer()
+        for i, byte in enumerate(frame):
+            assert buffer.pop() is None, f"popped early at byte {i}"
+            buffer.feed(bytes([byte]))
+        assert buffer.pop() == message
+        assert buffer.pop() is None
+
+    def test_buffer_pops_coalesced_messages_in_order(self):
+        messages = [("heartbeat",), ("result", 0, 42, None), ("hello", {})]
+        buffer = MessageBuffer()
+        buffer.feed(b"".join(encode_message(m) for m in messages))
+        assert [buffer.pop() for _ in messages] == messages
+        assert buffer.pop() is None
+
+    def test_oversized_frame_is_rejected_not_allocated(self):
+        buffer = MessageBuffer()
+        buffer.feed(struct.pack("!Q", 1 << 40))
+        with pytest.raises(ValueError, match="exceeds limit"):
+            buffer.pop()
+
+
+# ----------------------------------------------------------------------
+# WorkerSession over a socketpair (no subprocesses)
+# ----------------------------------------------------------------------
+def make_unpicklable(payload):
+    return lambda: payload  # a lambda output is deliberately unpicklable
+
+
+def boom_runner(payload):
+    raise RuntimeError(f"unit {payload} exploded")
+
+
+def boom_init():
+    raise RuntimeError("initializer exploded")
+
+
+def start_session(sock, **kwargs):
+    session = WorkerSession(sock, **kwargs)
+    box = {}
+
+    def run():
+        box["status"] = session.run()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return session, thread, box
+
+
+def expect(sock, kind, timeout=5.0):
+    """Read messages (skipping heartbeats) until ``kind`` arrives."""
+    sock.settimeout(timeout)
+    while True:
+        message = recv_message(sock)
+        assert message is not None, f"EOF while waiting for {kind!r}"
+        if message[0] == kind:
+            return message
+
+
+def unit_message(index, runner, payload, label="u", policy=None):
+    blob = pickle.dumps((runner, payload))
+    return ("unit", index, blob, label, policy or FaultPolicy())
+
+
+class TestWorkerSession:
+    def test_hello_setup_unit_result_shutdown(self):
+        coord, worker = socket.socketpair()
+        try:
+            session, thread, box = start_session(worker, launch_index=4)
+            hello = expect(coord, "hello")
+            assert hello[1]["pid"] == os.getpid()
+            assert hello[1]["launch"] == 4
+            coord.sendall(encode_message(("setup", "w9", 0.5, None, ())))
+            coord.sendall(encode_message(
+                unit_message(0, helpers.double_unit, 21)
+            ))
+            assert expect(coord, "result") == ("result", 0, 42, None)
+            assert session.worker_id == "w9"
+            coord.sendall(encode_message(("shutdown",)))
+            thread.join(timeout=5)
+            assert box["status"] == 0
+        finally:
+            coord.close()
+            worker.close()
+
+    def test_heartbeats_flow_between_units(self):
+        coord, worker = socket.socketpair()
+        try:
+            _, thread, _ = start_session(worker)
+            expect(coord, "hello")
+            coord.sendall(encode_message(("setup", "w0", 0.02, None, ())))
+            assert expect(coord, "heartbeat") == ("heartbeat",)
+            coord.sendall(encode_message(("shutdown",)))
+            thread.join(timeout=5)
+        finally:
+            coord.close()
+            worker.close()
+
+    def test_unit_failure_respects_the_policy(self):
+        coord, worker = socket.socketpair()
+        try:
+            _, thread, _ = start_session(worker)
+            expect(coord, "hello")
+            coord.sendall(encode_message(("setup", "w0", 0.5, None, ())))
+            policy = FaultPolicy(on_error="skip", retries=0)
+            coord.sendall(encode_message(
+                unit_message(2, boom_runner, 5, label="bad", policy=policy)
+            ))
+            _, index, output, failure = expect(coord, "result")
+            assert (index, output) == (2, None)
+            assert isinstance(failure, UnitFailure)
+            assert failure.label == "bad"
+            assert failure.attempts == 1
+            assert "exploded" in failure.error
+            coord.sendall(encode_message(("shutdown",)))
+            thread.join(timeout=5)
+        finally:
+            coord.close()
+            worker.close()
+
+    def test_unpicklable_output_degrades_to_a_failure(self):
+        coord, worker = socket.socketpair()
+        try:
+            _, thread, _ = start_session(worker)
+            expect(coord, "hello")
+            coord.sendall(encode_message(("setup", "w3", 0.5, None, ())))
+            coord.sendall(encode_message(
+                unit_message(1, make_unpicklable, 9, label="lambda-out")
+            ))
+            _, index, output, failure = expect(coord, "result")
+            assert (index, output) == (1, None)
+            assert isinstance(failure, UnitFailure)
+            assert "pickled" in failure.error
+            assert failure.worker == "w3"
+            coord.sendall(encode_message(("shutdown",)))
+            thread.join(timeout=5)
+        finally:
+            coord.close()
+            worker.close()
+
+    def test_failing_initializer_is_fatal(self):
+        coord, worker = socket.socketpair()
+        try:
+            _, thread, box = start_session(worker)
+            expect(coord, "hello")
+            coord.sendall(encode_message(("setup", "w0", 0.5, boom_init, ())))
+            fatal = expect(coord, "fatal")
+            assert "initializer exploded" in fatal[1]
+            thread.join(timeout=5)
+            assert box["status"] == 1
+        finally:
+            coord.close()
+            worker.close()
+
+    def test_coordinator_eof_ends_the_session_cleanly(self):
+        coord, worker = socket.socketpair()
+        try:
+            _, thread, box = start_session(worker)
+            expect(coord, "hello")
+            coord.sendall(encode_message(("setup", "w0", 0.5, None, ())))
+            coord.close()
+            thread.join(timeout=5)
+            assert box["status"] == 0
+        finally:
+            worker.close()
+
+
+# ----------------------------------------------------------------------
+# Full cluster runs (real worker processes)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestClusterRunPlan:
+    def test_matches_the_serial_run(self, worker_path):
+        values = list(range(6))
+        serial = run_plan(plan_of(values))
+        clustered = run_plan(
+            plan_of(values), workers=3, backend="cluster",
+            fault_policy=fast_policy(),
+        )
+        assert clustered == serial == [v * 2 for v in values]
+
+    def test_units_run_in_worker_processes(self, worker_path):
+        results = run_plan(
+            plan_of(list(range(4)), runner=helpers.unit_pid),
+            workers=2, backend="cluster", fault_policy=fast_policy(),
+        )
+        assert [value for value, _pid in results] == [0, 1, 2, 3]
+        pids = {pid for _value, pid in results}
+        assert os.getpid() not in pids
+
+    def test_killed_worker_unit_is_redispatched(self, worker_path):
+        chaos = ChaosSchedule(faults={
+            0: (WorkerFault(kind="kill", after_units=1),),
+        })
+        values = list(range(6))
+        clustered = run_plan(
+            plan_of(values), workers=2, backend="cluster",
+            fault_policy=fast_policy(), chaos=chaos,
+        )
+        assert clustered == [v * 2 for v in values]
+
+    def test_hung_worker_is_fenced_by_heartbeats(self, worker_path):
+        chaos = ChaosSchedule(faults={
+            0: (WorkerFault(kind="hang", after_units=1),),
+        })
+        values = list(range(6))
+        clustered = run_plan(
+            plan_of(values), workers=2, backend="cluster",
+            fault_policy=fast_policy(), chaos=chaos,
+        )
+        assert clustered == [v * 2 for v in values]
+
+    def test_chaos_schedule_is_read_from_the_environment(
+        self, worker_path, monkeypatch
+    ):
+        schedule = ChaosSchedule(faults={
+            0: (WorkerFault(kind="kill", after_units=1),),
+        })
+        monkeypatch.setenv(SCHEDULE_ENV, schedule.to_json())
+        values = list(range(4))
+        clustered = run_plan(
+            plan_of(values), workers=2, backend="cluster",
+            fault_policy=fast_policy(),
+        )
+        assert clustered == [v * 2 for v in values]
+
+    def test_dispatch_exhaustion_fails_the_unit_with_provenance(
+        self, worker_path
+    ):
+        # Every worker that picks up unit 0 dies on it: launches 0 and
+        # 1 are both scripted to kill on their first unit.  With
+        # max_dispatches=2 the second loss is terminal for the unit;
+        # the replacement worker (launch 2, unscripted) finishes the
+        # rest of the plan.
+        chaos = ChaosSchedule(faults={
+            0: (WorkerFault(kind="kill", after_units=1),),
+            1: (WorkerFault(kind="kill", after_units=1),),
+        })
+        failures = []
+        values = list(range(3))
+        merged = run_plan(
+            plan_of(values), workers=1, backend="cluster",
+            fault_policy=fast_policy(
+                on_error="skip", retries=0, max_dispatches=2
+            ),
+            on_failure=failures.append, chaos=chaos,
+        )
+        assert len(failures) == 1
+        failure = failures[0]
+        assert failure.index == 0
+        assert failure.attempts == 2
+        assert failure.redispatches == 1
+        assert failure.worker == "w1"
+        assert "dispatch" in failure.error
+        # The failed unit occupies its merge slot as the failure record
+        # (the ordinary on_error="skip" contract); survivors are exact.
+        assert merged[0] is failure
+        assert merged[1:] == [2, 4]
+
+    def test_sigterm_drains_in_flight_units_then_raises(self, worker_path):
+        landed = []
+
+        def on_unit(index, output):
+            landed.append(index)
+            if len(landed) == 1:
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        values = [(v, 0.2) for v in range(6)]
+        with pytest.raises(ClusterDrained) as info:
+            run_plan(
+                plan_of(values, runner=helpers.slow_double),
+                workers=2, backend="cluster",
+                fault_policy=fast_policy(), on_unit=on_unit,
+            )
+        # Everything in flight at the SIGTERM landed (and fired its
+        # on_unit checkpoint) before the drain surfaced; the rest of
+        # the plan was never started.
+        assert info.value.completed == len(landed)
+        assert 1 <= info.value.completed < len(values)
+
+    def test_standalone_worker_joins_a_pinned_port_plan(
+        self, worker_path, monkeypatch
+    ):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        monkeypatch.setenv(PORT_ENV, str(port))
+
+        units = [
+            WorkUnit(
+                runner=helpers.slow_double, payload=(v, 0.25),
+                label=f"unit-{v}",
+            )
+            for v in range(6)
+        ]
+        plan = ExecutionPlan(units=units, merge=list, label="elastic")
+        blobs = _encode_units(plan)
+        assert blobs is not None
+        coordinator = ClusterCoordinator(
+            label="elastic",
+            blobs=blobs,
+            labels=[unit.label for unit in units],
+            policy=fast_policy(),
+            workers=1,
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{SRC_DIR}{os.pathsep}{TESTS_DIR}"
+        external = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--connect", f"127.0.0.1:{port}"],
+            env=env, stdin=subprocess.DEVNULL,
+        )
+        try:
+            outputs = {}
+
+            def land(index, output, failure):
+                assert failure is None
+                outputs[index] = output
+
+            coordinator.run(land)
+            assert outputs == {v: v * 2 for v in range(6)}
+            # The dial-in worker was adopted mid-plan (it has no launch
+            # slot, so it can never be confused with a spawned worker).
+            assert coordinator.stats["external_joins"] == 1
+            assert coordinator.stats["spawned"] >= 1
+            assert external.wait(timeout=10) == 0
+        finally:
+            if external.poll() is None:
+                external.kill()
+                external.wait(timeout=10)

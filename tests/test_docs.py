@@ -51,14 +51,38 @@ class TestDocsPresence:
         for needle in (
             "--replay", "register_protocol", "register_scenario",
             "shards", "--save-tensors", "spawn",
+            "--backend cluster", "repro worker --connect",
+            "REPRO_CHAOS",
         ):
             assert needle in text, f"campaigns.md should mention {needle!r}"
+
+    def test_architecture_documents_the_cluster_backend(self):
+        text = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        for needle in (
+            "repro.runtime.cluster", "heartbeat", "re-dispatch",
+            "worker loss cannot perturb results",
+        ):
+            assert needle in text, f"architecture.md should mention {needle!r}"
 
 
 class TestLinkIntegrity:
     def test_no_dangling_relative_links(self):
         checker = load_checker()
         assert checker.dangling_links() == []
+
+    def test_no_missing_required_sections(self):
+        checker = load_checker()
+        assert checker.missing_sections() == []
+
+    def test_checker_catches_a_deleted_section(self, tmp_path):
+        checker = load_checker()
+        (tmp_path / "docs").mkdir()
+        for name in checker.REQUIRED_DOCS:
+            target = tmp_path / name
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text("# Something unrelated\n")
+        bad = checker.missing_sections(tmp_path)
+        assert set(bad) == set(checker.REQUIRED_SECTIONS)
 
     def test_checker_catches_a_dangling_link(self, tmp_path):
         # The checker itself must be able to fail: a fabricated tree

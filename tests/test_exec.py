@@ -1,6 +1,7 @@
 """Tests for the unified execution layer (repro.runtime.exec)."""
 
 import pickle
+import threading
 import time
 
 import pytest
@@ -13,7 +14,13 @@ from repro.runtime import (
     WorkUnit,
     run_plan,
 )
-from repro.runtime.exec import _encode_units
+from repro.runtime.exec import (
+    UnitTimeout,
+    _attempt_deadline,
+    _attempt_unit,
+    _encode_units,
+    _jitter_fraction,
+)
 
 
 def double(payload):
@@ -151,6 +158,178 @@ class TestFaultPolicy:
             traceback="Traceback ...", attempts=2,
         )
         assert UnitFailure.from_dict(failure.to_dict()) == failure
+
+
+class TestBackoffJitter:
+    def test_no_unit_index_keeps_exact_exponential(self):
+        # Callers that don't identify the unit (and older call sites)
+        # get the historical exact schedule regardless of jitter.
+        policy = FaultPolicy(
+            on_error="retry", backoff_seconds=0.1, backoff_factor=2.0,
+            max_backoff_seconds=0.3, jitter=0.5,
+        )
+        assert policy.backoff_for(1) == pytest.approx(0.2)
+
+    def test_jitter_zero_is_exact_for_any_unit(self):
+        policy = FaultPolicy(on_error="retry", jitter=0.0)
+        for unit in range(5):
+            assert policy.backoff_for(1, unit_index=unit) == (
+                policy.backoff_for(1)
+            )
+
+    def test_jittered_backoff_is_deterministic(self):
+        # Seeded from the unit index, not entropy: the same (unit,
+        # attempt) always sleeps the same time -- the determinism that
+        # keeps retried runs bitwise identical.
+        policy = FaultPolicy(on_error="retry", jitter=0.5)
+        first = [policy.backoff_for(k, unit_index=7) for k in range(4)]
+        second = [policy.backoff_for(k, unit_index=7) for k in range(4)]
+        assert first == second
+
+    def test_jitter_stays_within_the_base_window(self):
+        policy = FaultPolicy(
+            on_error="retry", backoff_seconds=0.1, backoff_factor=2.0,
+            max_backoff_seconds=2.0, jitter=0.5,
+        )
+        for unit in range(20):
+            base = policy.backoff_for(1)
+            jittered = policy.backoff_for(1, unit_index=unit)
+            assert base * 0.5 <= jittered <= base
+
+    def test_units_decorrelate(self):
+        # The point of the jitter: a mass retry after a worker death
+        # must not stampede -- different units sleep different times.
+        policy = FaultPolicy(on_error="retry", jitter=1.0)
+        sleeps = {policy.backoff_for(0, unit_index=u) for u in range(16)}
+        assert len(sleeps) > 8
+
+    def test_jitter_fraction_is_uniformish(self):
+        fractions = [_jitter_fraction(u, 0) for u in range(256)]
+        assert all(0.0 <= f < 1.0 for f in fractions)
+        assert 0.4 < sum(fractions) / len(fractions) < 0.6
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError, match="jitter"):
+            FaultPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="jitter"):
+            FaultPolicy(jitter=-0.1)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_jittered_retries_stay_bitwise_identical(
+        self, tmp_path, workers
+    ):
+        # The determinism test the satellite asks for: a plan whose
+        # units fail transiently under a *jittered* retry policy still
+        # reproduces the clean run exactly.
+        reference = run_plan(plan_of([1, 2, 3]), workers=workers)
+        flag = tmp_path / f"attempts-{workers}"
+        plan = ExecutionPlan(
+            units=[
+                WorkUnit(runner=double, payload=1),
+                WorkUnit(runner=flaky, payload=(str(flag), 1, 2)),
+                WorkUnit(runner=double, payload=3),
+            ],
+            merge=list,
+        )
+        policy = FaultPolicy(
+            on_error="retry", retries=2, backoff_seconds=0.01,
+            jitter=1.0,
+        )
+        assert run_plan(plan, workers=workers, fault_policy=policy) == (
+            reference
+        )
+
+
+def busy_sleep(seconds):
+    """Spin in bytecode so an async exception can be delivered."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += 1
+    return total
+
+
+class TestThreadWatchdog:
+    """`timeout_seconds` off the POSIX main thread (the old blind spot).
+
+    Cluster workers run units in their main thread but alongside other
+    threads, and any embedder may run plans from a worker thread;
+    before the watchdog fallback, `_attempt_deadline` was a silent
+    no-op everywhere SIGALRM could not be armed.
+    """
+
+    def run_in_thread(self, target):
+        box = {}
+
+        def wrapper():
+            try:
+                box["result"] = target()
+            except BaseException as exc:  # noqa: BLE001 - test capture
+                box["error"] = exc
+
+        thread = threading.Thread(target=wrapper)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        return box
+
+    def test_deadline_fires_off_main_thread(self):
+        def target():
+            with _attempt_deadline(0.2):
+                busy_sleep(30.0)
+
+        box = self.run_in_thread(target)
+        assert isinstance(box.get("error"), UnitTimeout)
+
+    def test_fast_attempts_are_untouched(self):
+        def target():
+            with _attempt_deadline(30.0):
+                return busy_sleep(0.01)
+
+        box = self.run_in_thread(target)
+        assert "error" not in box and box["result"] > 0
+
+    def test_attempt_unit_times_out_in_a_thread(self):
+        # Regression for the satellite: the full retry loop, executed
+        # off the main thread, now records a UnitTimeout failure
+        # instead of silently ignoring timeout_seconds.
+        policy = FaultPolicy(
+            on_error="skip", retries=0, timeout_seconds=0.2
+        )
+
+        def target():
+            return _attempt_unit(0, busy_sleep, 30.0, "hung", policy)
+
+        box = self.run_in_thread(target)
+        index, output, failure = box["result"]
+        assert output is None
+        assert isinstance(failure, UnitFailure)
+        assert "UnitTimeout" in failure.error
+
+
+class TestFailureProvenance:
+    def test_provenance_round_trips(self):
+        failure = UnitFailure(
+            index=3, label="shard 3", error="lost", traceback="",
+            attempts=2, worker="w1", redispatches=2, heartbeat_misses=4,
+        )
+        data = failure.to_dict()
+        assert data["worker"] == "w1"
+        assert data["redispatches"] == 2
+        assert data["heartbeat_misses"] == 4
+        assert UnitFailure.from_dict(data) == failure
+
+    def test_legacy_dicts_parse_without_provenance(self):
+        # Manifests written before the provenance fields existed must
+        # keep loading (campaign resume reads them back).
+        legacy = {
+            "index": 1, "label": "p", "error": "e", "traceback": "t",
+            "attempts": 2,
+        }
+        failure = UnitFailure.from_dict(legacy)
+        assert failure.worker == ""
+        assert failure.redispatches == 0
+        assert failure.heartbeat_misses == 0
 
 
 def retry_policy(retries=2):

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Documentation presence and link check (CI gate, stdlib only).
 
-Verifies that the repository's entry-point documentation exists and
-that every *relative* markdown link in it resolves to a real file or
-directory.  External links (http/https/mailto) and pure in-page
-anchors are not checked.
+Verifies that the repository's entry-point documentation exists, that
+every *relative* markdown link in it resolves to a real file or
+directory, and that load-bearing sections (the ones other docs and
+error messages point at) are still present under a recognizable
+heading.  External links (http/https/mailto) and pure in-page anchors
+are not checked.
 
 Run from anywhere:  python tools/check_docs.py
 Exit status 0 = all good, 1 = missing docs or dangling links.
@@ -36,9 +38,22 @@ CHECKED_FOR_LINKS = REQUIRED_DOCS + (
     "PAPER.md",
 )
 
+#: Headings (any level) that must appear in the named doc.  Substring
+#: match against heading lines, so retitling around the key phrase is
+#: fine; deleting the section is not.
+REQUIRED_SECTIONS = (
+    ("docs/architecture.md", "The distributed backend"),
+    ("docs/architecture.md", "The execution layer"),
+    ("docs/campaigns.md", "The cluster backend"),
+    ("docs/campaigns.md", "Checkpointing and resume"),
+    ("docs/campaigns.md", "Fault policy"),
+)
+
 #: Inline markdown links: [text](target).  Deliberately simple -- docs
 #: here do not use reference-style links or angle-bracket targets.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 
 
 def missing_required(root: Path = REPO_ROOT) -> List[str]:
@@ -64,6 +79,19 @@ def dangling_links(root: Path = REPO_ROOT) -> List[Tuple[str, str]]:
     return bad
 
 
+def missing_sections(root: Path = REPO_ROOT) -> List[Tuple[str, str]]:
+    """(file, section) pairs whose required heading is gone."""
+    bad: List[Tuple[str, str]] = []
+    for name, section in REQUIRED_SECTIONS:
+        path = root / name
+        if not path.is_file():
+            continue  # reported by missing_required
+        headings = _HEADING.findall(path.read_text())
+        if not any(section in heading for heading in headings):
+            bad.append((name, section))
+    return bad
+
+
 def main() -> int:
     failures = 0
     for name in missing_required():
@@ -72,12 +100,16 @@ def main() -> int:
     for name, target in dangling_links():
         print(f"DANGLING LINK: {name}: ({target})")
         failures += 1
+    for name, section in missing_sections():
+        print(f"MISSING SECTION: {name}: {section!r}")
+        failures += 1
     if failures:
         print(f"{failures} documentation problem(s)")
         return 1
     print(
         f"docs ok: {len(REQUIRED_DOCS)} required files present, "
-        f"links in {len(CHECKED_FOR_LINKS)} files resolve"
+        f"links in {len(CHECKED_FOR_LINKS)} files resolve, "
+        f"{len(REQUIRED_SECTIONS)} required sections found"
     )
     return 0
 
